@@ -1,0 +1,60 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* chroma+luma vs luma-only thresholding (paper Section III-B's choice);
+* the sliding DBN vs a blob-size heuristic;
+* hysteresis control vs naive thresholding (reconfiguration storms);
+* reconfigurable-partition slack sweep;
+* HP-port contention: paper controller vs ZyCAP placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    run_contention,
+    run_dbn_ablation,
+    run_floorplan_sweep,
+    run_hysteresis_ablation,
+    run_threshold_ablation,
+)
+
+
+def test_ablation_threshold(benchmark, report_sink):
+    result = run_once(benchmark, run_threshold_ablation, n_frames=30, seed=17)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+    # The chroma mask is what rejects headlights/lamps: spurious detections
+    # drop sharply when it is enabled.
+    assert result.luma_only.spurious > result.with_chroma.spurious
+
+
+def test_ablation_dbn_stage(benchmark, report_sink):
+    result = run_once(benchmark, run_dbn_ablation, n_frames=30, seed=19)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_ablation_hysteresis(benchmark, report_sink):
+    result = run_once(benchmark, run_hysteresis_ablation, duration_s=120.0)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+    assert result.naive_switches >= 10 * max(result.hysteretic_switches, 1)
+
+
+def test_ablation_floorplan_slack(benchmark, report_sink):
+    result = run_once(benchmark, run_floorplan_sweep)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_ablation_hp_contention(benchmark, report_sink):
+    result = run_once(benchmark, run_contention)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks

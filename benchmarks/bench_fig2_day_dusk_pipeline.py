@@ -1,0 +1,54 @@
+"""Bench F2 — paper Fig. 2: the day/dusk HOG+SVM hardware pipeline.
+
+The timing model must sustain 50 fps HDTV at 125 MHz with II = 1, and the
+software model of the same three stages must be functionally exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig2_pipeline
+from repro.hw.designs import day_dusk_pipeline
+from repro.hw.timing import PAPER_CLOCK_HZ
+
+
+def test_reproduce_fig2_timing(benchmark, report_sink):
+    result = run_once(benchmark, run_fig2_pipeline)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_50fps_at_125mhz(benchmark):
+    pipe = run_once(benchmark, day_dusk_pipeline)
+    assert pipe.clock_hz == PAPER_CLOCK_HZ
+    assert pipe.fps == pytest.approx(50.5, abs=0.2)
+
+
+def test_three_paper_stages_present(benchmark):
+    pipe = run_once(benchmark, day_dusk_pipeline)
+    names = [s.name for s in pipe.stages]
+    assert names == ["HOG descriptor", "HOG normalizer", "SVM classifier"]
+
+
+def test_functional_model_is_deterministic(benchmark):
+    """The software mirror of the HW pipeline: same input, same features."""
+    from repro.features.hog import HogDescriptor
+
+    hog = HogDescriptor()
+    img = np.random.default_rng(0).random((64, 64))
+    a = run_once(benchmark, hog.extract, img)
+    assert np.array_equal(a, hog.extract(img))
+
+
+def test_benchmark_dense_hog_extraction(benchmark):
+    """Time the dense HOG front-end over a 360x640 luma plane."""
+    from repro.features.hog import HogDescriptor
+
+    hog = HogDescriptor()
+    frame = np.random.default_rng(1).random((360, 640))
+    blocks, layout = benchmark(hog.extract_dense, frame)
+    assert blocks.shape[2] == 36

@@ -1,0 +1,38 @@
+"""Bench F5 — paper Fig. 5: sample dark detections on iROADS-like frames.
+
+Regenerates the qualitative figure: renders dark road scenes, runs the dark
+pipeline, and prints ASCII frames with the detections burnt in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig5_samples
+
+
+def test_reproduce_fig5_samples(benchmark, report_sink):
+    result = run_once(benchmark, run_fig5_samples, n_frames=4, seed=3)
+    report_sink.append(result.render())
+    assert result.shape_checks()["detects_in_most_vehicle_frames"]
+
+
+def test_detections_localise_ground_truth(benchmark):
+    from repro.datasets.synthetic import make_iroads_like
+    from repro.experiments.common import trained_dark_detector
+    from repro.pipelines.evaluation import evaluate_frames
+
+    detector = trained_dark_detector()
+    frames = make_iroads_like(n_frames=12, seed=9).frames
+    result = run_once(
+        benchmark, evaluate_frames, detector, frames, kind="vehicle", iou_threshold=0.25
+    )
+    assert result.object_recall >= 0.7
+    assert result.spurious <= 2
+
+
+def test_benchmark_single_frame_figure(benchmark):
+    """Time rendering + detecting + ASCII for a single Fig. 5 panel."""
+    result = benchmark(run_fig5_samples, n_frames=1, seed=5)
+    assert result.n_frames == 1

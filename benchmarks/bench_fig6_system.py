@@ -1,0 +1,70 @@
+"""Bench F6 — paper Fig. 6: the full SoC block diagram in motion.
+
+Streams frames through the pedestrian and vehicle DMA paths, audits the
+interrupt counts and HP-port traffic, and exercises a reconfiguration in
+the middle of steady-state streaming.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig6_system
+from repro.zynq.soc import FRAME_BYTES, ZynqSoC
+
+
+def test_reproduce_fig6_audit(benchmark, report_sink):
+    result = run_once(benchmark, run_fig6_system, n_frames=10)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_interrupts_count_matches_frames(benchmark):
+    result = run_once(benchmark, run_fig6_system, n_frames=7)
+    irq = result.stats["interrupts"]
+    assert irq["dma-ped-mm2s.done"] == 7
+    assert irq["dma-veh-s2mm.done"] == 7
+
+
+def test_streaming_through_reconfiguration(benchmark, report_sink):
+    """Steady 50 fps streaming with a PR in the middle: the vehicle path
+    loses exactly the in-flight frames, the pedestrian path none."""
+
+    def scenario():
+        soc = ZynqSoC()
+        period = 1.0 / 50.0
+        for i in range(50):
+            soc.sim.schedule(
+                i * period,
+                lambda: (soc.submit_frame("pedestrian"), soc.submit_frame("vehicle")),
+            )
+        soc.sim.schedule(0.5 * period + 10 * period, lambda: soc.reconfigure_vehicle("dark"))
+        soc.sim.run()
+        return soc
+
+    soc = run_once(benchmark, scenario)
+    assert soc.pedestrian.frames_dropped == 0
+    assert soc.vehicle.frames_dropped == 1
+    assert soc.vehicle.configuration == "dark"
+
+
+def test_hp_traffic_accounts_for_frames(benchmark):
+    result = run_once(benchmark, run_fig6_system, n_frames=5)
+    assert result.hp_bytes["hp0"] >= 5 * FRAME_BYTES  # pedestrian in+out
+    assert result.hp_bytes["hp1"] >= 5 * FRAME_BYTES  # vehicle in
+
+
+def test_benchmark_soc_frame_roundtrip(benchmark):
+    """Wall-clock cost of simulating one frame through both detectors."""
+
+    def roundtrip():
+        soc = ZynqSoC()
+        soc.submit_frame("pedestrian")
+        soc.submit_frame("vehicle")
+        soc.sim.run()
+        return soc
+
+    soc = benchmark(roundtrip)
+    assert soc.vehicle.frames_processed == 1

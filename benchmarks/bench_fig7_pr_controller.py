@@ -1,0 +1,38 @@
+"""Bench F7 — paper Fig. 7: the PR controller, event by event.
+
+Walks an 8 MB bitstream down the PL DDR -> AXI DMA -> ICAP manager ->
+ICAPE2 path, prints the timestamped trace, and checks the 390 MB/s figure
+and the completion interrupt.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import run_fig7_pr_controller
+
+
+def test_reproduce_fig7_trace(benchmark, report_sink):
+    result = run_once(benchmark, run_fig7_pr_controller)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_duration_matches_20ms_figure(benchmark):
+    result = run_once(benchmark, run_fig7_pr_controller)
+    assert result.duration_ms == pytest.approx(20.5, abs=0.5)
+
+
+def test_trace_is_ordered(benchmark):
+    result = run_once(benchmark, run_fig7_pr_controller)
+    start_idx = next(i for i, e in enumerate(result.events) if "start" in e)
+    done_idx = next(i for i, e in enumerate(result.events) if "done" in e)
+    assert start_idx < done_idx
+
+
+def test_benchmark_pr_controller_event_walk(benchmark):
+    """Time the full simulated Fig. 7 walk."""
+    result = benchmark(run_fig7_pr_controller)
+    assert result.throughput_mb_s > 380

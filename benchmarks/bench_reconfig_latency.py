@@ -1,0 +1,55 @@
+"""Bench RL — Section IV-B: 20 ms reconfiguration = one dropped frame.
+
+Drives the full system through an urban evening (several dusk<->dark
+transitions): each 8 MB PR takes ~20.5 ms, costs exactly one vehicle frame
+at 50 fps, and never touches the pedestrian stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.reconfig import run_latency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_latency(duration_s=120.0)
+
+
+def test_reproduce_latency_experiment(benchmark, report_sink):
+    result = run_once(benchmark, run_latency, duration_s=120.0)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_exactly_one_frame_per_reconfiguration(benchmark, result):
+    run_once(benchmark, lambda: None)
+    summary = result.drive.summary()
+    assert summary["reconfigurations"] >= 2
+    assert summary["drops_per_reconfiguration"] == pytest.approx(1.0)
+
+
+def test_pedestrian_stream_uninterrupted(benchmark, result):
+    run_once(benchmark, lambda: None)
+    assert result.drive.pedestrian_dropped == 0
+
+
+def test_reconfiguration_time_20ms(benchmark, result):
+    run_once(benchmark, lambda: None)
+    for report in result.drive.reconfigurations:
+        assert report.duration_s * 1e3 == pytest.approx(20.5, abs=0.5)
+
+
+def test_benchmark_system_drive(benchmark):
+    """Wall-clock cost of a 30 s simulated drive (1 500 frames)."""
+    from repro.adaptive.sensor import urban_evening_trace
+    from repro.core.system import AdaptiveDetectionSystem
+
+    def drive():
+        return AdaptiveDetectionSystem().run_drive(urban_evening_trace(duration_s=30.0))
+
+    report = benchmark(drive)
+    assert report.n_frames == 1500

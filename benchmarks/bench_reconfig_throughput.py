@@ -1,0 +1,59 @@
+"""Bench RT — Section IV-A: reconfiguration throughput comparison.
+
+PCAP ~145 MB/s, AXI HWICAP ~19 MB/s, ZyCAP ~382 MB/s, the paper's PR
+controller ~390 MB/s; theoretical ceiling 400 MB/s.  This bench is also the
+data-path ablation: same bitstream, four interconnect routes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.reconfig import PAPER_THROUGHPUT_MB_S, run_throughput
+from repro.zynq.pr import PaperPrController
+from repro.zynq.soc import ZynqSoC
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_throughput()
+
+
+def test_reproduce_throughput_comparison(benchmark, report_sink):
+    result = run_once(benchmark, run_throughput)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_each_controller_within_5pct_of_paper(benchmark, result):
+    run_once(benchmark, lambda: None)
+    for name, expected in PAPER_THROUGHPUT_MB_S.items():
+        measured = result.throughput(name)
+        assert measured == pytest.approx(expected, rel=0.05), name
+
+
+def test_speedup_over_pcap_at_least_2_6x(benchmark, result):
+    run_once(benchmark, lambda: None)
+    # "It results in the speed up of more than 2.6 times for the
+    # reconfiguration throughput."
+    assert result.throughput("paper-pr") / result.throughput("pcap") >= 2.6
+
+
+def test_ours_within_97_5pct_of_theoretical(benchmark, result):
+    run_once(benchmark, lambda: None)
+    assert result.throughput("paper-pr") / 400.0 >= 0.975
+
+
+def test_benchmark_simulated_reconfiguration(benchmark):
+    """Wall-clock cost of simulating one 8 MB reconfiguration."""
+
+    def reconfigure():
+        soc = ZynqSoC(controller_cls=PaperPrController)
+        report = soc.reconfigure_vehicle("dark")
+        soc.sim.run()
+        return report
+
+    report = benchmark(reconfigure)
+    assert report.ok

@@ -1,0 +1,53 @@
+"""Bench T2 — regenerate paper Table II (resource utilization on XC7Z100)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+def test_reproduce_table2(benchmark, report_sink):
+    result = run_once(benchmark, run_table2)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_every_cell_within_3_points(benchmark, table2):
+    run_once(benchmark, lambda: None)
+    measured = table2.utilization_rows()
+    for row, cells in PAPER_TABLE2.items():
+        for cls, expected in cells.items():
+            assert abs(measured[row][cls] - expected) <= 0.03, (row, cls)
+
+
+def test_partition_sized_by_dark_design(benchmark, table2):
+    run_once(benchmark, lambda: None)
+    # "the area of reconfigurable partition is considered big enough to
+    # fulfill the resource requirement of the largest configuration"
+    assert table2.partition.fits(table2.dark)
+    assert table2.partition.fits(table2.day_dusk)
+    # and the dark design is the binding one: ~1.125x slack on its LUTs.
+    slack = table2.partition.capacity.lut / table2.dark.lut
+    assert 1.05 <= slack <= 1.35
+
+
+def test_total_leaves_headroom_for_ads_features(benchmark, table2):
+    run_once(benchmark, lambda: None)
+    # The paper's conclusion: adaptivity leaves "more free resources
+    # available on the hardware for the other complex features of ADS".
+    measured = table2.utilization_rows()["total"]
+    assert all(v < 0.75 for v in measured.values())
+
+
+def test_benchmark_table2_generation(benchmark):
+    """Time the full resource-model evaluation + floorplanning."""
+    result = benchmark(run_table2)
+    assert result.partition.area_fraction > 0

@@ -1,0 +1,42 @@
+"""Extension bench — temporal tracking over dark drive sequences.
+
+Not a paper artefact (see DESIGN.md §5): the paper's related work pairs
+nighttime detection with tracking; this bench quantifies what the tracker
+buys on temporally-coherent synthetic sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tracking_ext import run_tracking_extension
+
+
+def test_tracking_extension(benchmark, report_sink):
+    result = run_once(benchmark, run_tracking_extension, n_frames=40, seed=3)
+    report_sink.append(result.render())
+    checks = result.shape_checks()
+    assert all(checks.values()), checks
+
+
+def test_tracking_improves_or_matches_recall(benchmark):
+    result = run_once(benchmark, run_tracking_extension, n_frames=30, seed=5)
+    assert result.tracked.recall >= result.plain.recall - 1e-9
+
+
+def test_benchmark_tracker_update(benchmark):
+    """Throughput of one tracker update with a handful of detections."""
+    from repro.imaging.geometry import Rect
+    from repro.pipelines.base import Detection
+    from repro.pipelines.tracking import TrackerConfig, VehicleTracker
+
+    tracker = VehicleTracker(TrackerConfig(min_hits=1))
+    detections = [Detection(rect=Rect(10 * i, 20, 30, 24), score=1.0) for i in range(6)]
+    tracker.update(detections)
+
+    def update():
+        return tracker.update(detections)
+
+    reported = benchmark(update)
+    assert len(reported) == 6

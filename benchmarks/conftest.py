@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+Each ``bench_*.py`` file regenerates one paper artefact (table or figure).
+The reproduction itself runs inside ``benchmark.pedantic(..., rounds=1)``
+so it executes (and is timed) under ``pytest --benchmark-only``; its
+assertions check the paper's qualitative claims, and the rendered
+measured-vs-paper report prints at the end of the session.
+
+``--repro-scale`` controls corpus sizes for the accuracy experiments:
+the default 1.0 reproduces the paper's test-set sizes (Table I trains three
+LibLINEAR-style models on ~800 crops each and classifies ~2 000 test crops,
+about half a minute); smaller values shrink every corpus proportionally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="1.0",
+        help="Corpus scale for accuracy experiments (1.0 = paper sizes)",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request) -> float:
+    return float(request.config.getoption("--repro-scale"))
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered experiment reports; printed at session end."""
+    reports: list[str] = []
+    yield reports
+    if reports:
+        print("\n\n" + "\n\n".join(reports) + "\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

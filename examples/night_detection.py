@@ -1,0 +1,63 @@
+"""Night detection deep-dive: the dark pipeline stage by stage (Fig. 3/4).
+
+Renders iROADS-like dark frames (with oncoming headlights and wet-road
+reflections as distractors), then walks each frame through the pipeline —
+channel split, dual threshold, merge, decimation, closing, sliding DBN,
+spatial correlation — printing what every stage produced, and finally the
+Fig. 5-style detection overlays.
+
+Run:  python examples/night_detection.py [--frames 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import make_iroads_like
+from repro.imaging import ascii_render_with_boxes, luminance
+from repro.pipelines import DarkStageTrace, DarkVehicleDetector
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    print("=== Training the dark pipeline ===")
+    detector = DarkVehicleDetector()
+    report = detector.train()
+    print(f"  DBN (81-20-8-4) window accuracy: {report['dbn_train_accuracy']:.1%}")
+    print(f"  pair SVM support vectors: {report['pair_svm']['n_support']}")
+
+    dataset = make_iroads_like(n_frames=args.frames, seed=args.seed, wet_road_probability=0.7)
+    hits = total = 0
+    for index, frame in enumerate(dataset.frames):
+        trace = DarkStageTrace()
+        detections = detector.detect(frame.rgb, trace=trace)
+        truth = len(frame.vehicles)
+        print(f"\n=== Frame {index}: {truth} vehicle(s) in ground truth ===")
+        print(f"  luma threshold mask:     {int(trace.luma_mask.sum()):6d} px")
+        print(f"  +chroma merge (red only): {int(trace.merged_mask.sum()):6d} px")
+        print(f"  after decimation+closing: {int(trace.processed_mask.sum()):6d} px")
+        print(f"  sliding DBN hit windows:  {int((trace.class_grid > 0).sum()):6d}")
+        print(f"  taillight candidates:     {len(trace.candidates):6d}")
+        print(f"  matched pairs:            {len(trace.pairs):6d}")
+        for det in detections:
+            x, y, w, h = det.rect.as_int()
+            (lx1, ly1), (lx2, ly2) = det.extra["taillights"]
+            print(f"    -> vehicle x={x} y={y} w={w} h={h} "
+                  f"(lamps at x={lx1:.0f} and x={lx2:.0f}, score {det.score:.2f})")
+        print()
+        print(ascii_render_with_boxes(
+            luminance(frame.rgb), [d.rect for d in detections], width=76
+        ))
+        if truth:
+            total += 1
+            hits += bool(detections)
+    if total:
+        print(f"\nframes with a vehicle where the pipeline fired: {hits}/{total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Tracking demo: stable vehicle identities through a dark drive sequence.
+
+Renders a temporally-coherent night sequence (vehicles keep their lanes and
+close/recede smoothly, lamps flicker with brake events, wet-road
+reflections), runs the dark pipeline per frame, and compares raw per-frame
+detection against the tracking extension — which coasts through dropouts
+and assigns stable track ids.
+
+Run:  python examples/tracking_demo.py [--frames 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets import DARK_LIGHTING, SceneConfig, SequenceConfig, render_sequence
+from repro.pipelines import DarkVehicleDetector, TrackingPipeline, evaluate_tracking
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=25)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    print("=== Rendering a coherent dark drive sequence ===")
+    config = SequenceConfig(
+        scene=SceneConfig(
+            height=360, width=640, n_vehicles=2,
+            vehicle_fill=(0.08, 0.16), wet_road_probability=0.6, seed=args.seed,
+        ),
+        n_frames=args.frames,
+    )
+    frames = render_sequence(config, DARK_LIGHTING)
+    ids = {o.track_id for f in frames for o in f.vehicles}
+    print(f"  {len(frames)} frames, ground-truth identities: {sorted(ids)}")
+
+    print("\n=== Training the dark pipeline ===")
+    detector = DarkVehicleDetector()
+    detector.train()
+
+    print("\n=== Per-frame detections with track ids ===")
+    tracked = TrackingPipeline(detector)
+    for index, frame in enumerate(frames):
+        detections = tracked.detect(frame.rgb)
+        row = ", ".join(
+            f"id{d.extra['track_id']}@x={d.rect.center[0]:.0f}"
+            + ("(coast)" if d.extra["coasting"] else "")
+            for d in detections
+        )
+        print(f"  frame {index:2d}: {row or '-'}")
+
+    print("\n=== Detector-only vs detector+tracker ===")
+    plain = evaluate_tracking(detector, frames)
+    tracked_eval = evaluate_tracking(TrackingPipeline(detector), frames)
+    print(f"  detector only:     recall={plain.recall:6.1%}  missed={plain.missed:3d}  "
+          f"spurious={plain.spurious}  MOTA={plain.mota:.2f}")
+    print(f"  detector+tracker:  recall={tracked_eval.recall:6.1%}  missed={tracked_eval.missed:3d}  "
+          f"spurious={tracked_eval.spurious}  MOTA={tracked_eval.mota:.2f}  "
+          f"id-switches={tracked_eval.id_switches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e .`` fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

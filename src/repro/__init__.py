@@ -1,0 +1,22 @@
+"""repro — reproduction of "Adaptive Vehicle Detection for Real-time
+Autonomous Driving System" (Hemmati, Biglari-Abhari, Niar; DATE 2019).
+
+Subpackages:
+
+* :mod:`repro.imaging`   — image-processing substrate.
+* :mod:`repro.features`  — HOG descriptor and sliding windows.
+* :mod:`repro.ml`        — linear SVM (LibLINEAR-style), RBM, DBN.
+* :mod:`repro.datasets`  — procedural stand-ins for UPM / SYSU / iROADS.
+* :mod:`repro.pipelines` — day/dusk, dark, and pedestrian detectors.
+* :mod:`repro.adaptive`  — light sensing and condition switching.
+* :mod:`repro.hw`        — FPGA timing and resource models.
+* :mod:`repro.zynq`      — discrete-event Zynq SoC and PR-controller models.
+* :mod:`repro.core`      — the adaptive detection system (paper Fig. 6).
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

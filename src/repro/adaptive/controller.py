@@ -1,0 +1,154 @@
+"""Lighting-condition classification with hysteresis and dwell time.
+
+Raw thresholding of a noisy lux signal near a regime boundary would request
+a reconfiguration on every sample — and each dusk<->dark transition costs a
+20 ms partial reconfiguration (one dropped frame).  The controller therefore
+applies (a) hysteresis bands around each boundary and (b) a minimum dwell
+time in the current condition before another switch is allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.lighting import DARK_LUX_UPPER, DUSK_LUX_UPPER, LightingCondition
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Hysteresis controller parameters.
+
+    Attributes:
+        day_dusk_lux: Boundary between day and dusk (lux).
+        dusk_dark_lux: Boundary between dusk and dark (lux).
+        hysteresis: Relative band half-width; a boundary at B switches down
+            at B/(1+h) and up at B*(1+h).
+        min_dwell_s: Minimum seconds in a condition before switching again.
+    """
+
+    day_dusk_lux: float = DUSK_LUX_UPPER
+    dusk_dark_lux: float = DARK_LUX_UPPER
+    hysteresis: float = 0.3
+    min_dwell_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.dusk_dark_lux <= 0 or self.day_dusk_lux <= self.dusk_dark_lux:
+            raise ConfigurationError(
+                "need 0 < dusk_dark_lux < day_dusk_lux, got "
+                f"{self.dusk_dark_lux} / {self.day_dusk_lux}"
+            )
+        if self.hysteresis < 0:
+            raise ConfigurationError(f"hysteresis must be >= 0, got {self.hysteresis}")
+        if self.min_dwell_s < 0:
+            raise ConfigurationError(f"min_dwell_s must be >= 0, got {self.min_dwell_s}")
+
+
+@dataclass(frozen=True)
+class ConditionChange:
+    """One emitted condition transition."""
+
+    time_s: float
+    previous: LightingCondition
+    new: LightingCondition
+    lux: float
+
+
+_ORDER = [LightingCondition.DARK, LightingCondition.DUSK, LightingCondition.DAY]
+
+
+class LightingController:
+    """Stateful lux -> condition classifier with hysteresis + dwell."""
+
+    def __init__(
+        self,
+        config: ControllerConfig | None = None,
+        initial: LightingCondition = LightingCondition.DAY,
+    ):
+        self.config = config or ControllerConfig()
+        self.condition = initial
+        self.last_change_s = float("-inf")
+        self.history: list[ConditionChange] = []
+
+    def _raw_condition(self, lux: float) -> LightingCondition:
+        cfg = self.config
+        if lux >= cfg.day_dusk_lux:
+            return LightingCondition.DAY
+        if lux >= cfg.dusk_dark_lux:
+            return LightingCondition.DUSK
+        return LightingCondition.DARK
+
+    def _boundary(self, lower: LightingCondition) -> float:
+        """Boundary lux between ``lower`` and the condition above it."""
+        if lower is LightingCondition.DARK:
+            return self.config.dusk_dark_lux
+        return self.config.day_dusk_lux
+
+    def update(self, time_s: float, lux: float) -> ConditionChange | None:
+        """Feed one sensor sample; returns a change event when switching.
+
+        Hysteresis: to move *down* (brighter condition -> darker), the lux
+        must fall below boundary/(1+h); to move *up*, above boundary*(1+h).
+        Multi-step jumps (day -> dark, e.g. driving into an unlit garage)
+        are taken one step per update so every transition is observed.
+        """
+        if lux < 0:
+            raise ConfigurationError(f"lux must be >= 0, got {lux}")
+        cfg = self.config
+        if time_s - self.last_change_s < cfg.min_dwell_s:
+            return None
+        current_idx = _ORDER.index(self.condition)
+        target = self._raw_condition(lux)
+        target_idx = _ORDER.index(target)
+        if target_idx == current_idx:
+            return None
+        h = cfg.hysteresis
+        if target_idx < current_idx:
+            # Getting darker: cross the lower boundary with margin.
+            boundary = self._boundary(_ORDER[current_idx - 1])
+            if lux >= boundary / (1.0 + h):
+                return None
+            new_condition = _ORDER[current_idx - 1]
+        else:
+            # Getting brighter: cross the upper boundary with margin.
+            boundary = self._boundary(_ORDER[current_idx])
+            if lux <= boundary * (1.0 + h):
+                return None
+            new_condition = _ORDER[current_idx + 1]
+        change = ConditionChange(
+            time_s=time_s, previous=self.condition, new=new_condition, lux=lux
+        )
+        self.condition = new_condition
+        self.last_change_s = time_s
+        self.history.append(change)
+        return change
+
+    def run_trace(self, sensor, sample_period_s: float, duration_s: float) -> list[ConditionChange]:
+        """Sample a sensor at a fixed period and collect every change."""
+        if sample_period_s <= 0 or duration_s <= 0:
+            raise ConfigurationError("sample period and duration must be positive")
+        changes: list[ConditionChange] = []
+        steps = int(duration_s / sample_period_s) + 1
+        for i in range(steps):
+            t = i * sample_period_s
+            change = self.update(t, sensor.read(t))
+            if change is not None:
+                changes.append(change)
+        return changes
+
+
+class NaiveController(LightingController):
+    """Thresholds without hysteresis or dwell — the ablation baseline.
+
+    Demonstrates reconfiguration storms on boundary-hugging illumination.
+    """
+
+    def __init__(self, config: ControllerConfig | None = None, initial: LightingCondition = LightingCondition.DAY):
+        base = config or ControllerConfig()
+        naive = ControllerConfig(
+            day_dusk_lux=base.day_dusk_lux,
+            dusk_dark_lux=base.dusk_dark_lux,
+            hysteresis=0.0,
+            min_dwell_s=0.0,
+        )
+        super().__init__(naive, initial)

@@ -1,0 +1,66 @@
+"""Reconfiguration policy: lighting condition -> hardware configuration.
+
+The paper generates *two* partial configurations for the reconfigurable
+vehicle-detection partition: one covering day and dusk (the same HOG+SVM
+pipeline; "implemented in the same way but with different versions of the
+trained model which are stored in two block RAM"), and one for dark.
+
+Consequently:
+
+* day <-> dusk is a *model swap* — selecting the other block RAM — with no
+  partial reconfiguration;
+* dusk <-> dark (either direction) requires a partial reconfiguration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.datasets.lighting import LightingCondition
+
+
+class VehicleConfigurationId(enum.Enum):
+    """Identifiers of the two partial bitstreams of the vehicle partition."""
+
+    DAY_DUSK = "day_dusk"
+    DARK = "dark"
+
+
+class SwitchKind(enum.Enum):
+    """What a condition change requires from the hardware."""
+
+    NONE = "none"
+    MODEL_SWAP = "model_swap"  # BRAM model select, zero downtime
+    PARTIAL_RECONFIG = "partial_reconfig"  # bitstream load through the PR path
+
+
+CONFIG_FOR_CONDITION = {
+    LightingCondition.DAY: VehicleConfigurationId.DAY_DUSK,
+    LightingCondition.DUSK: VehicleConfigurationId.DAY_DUSK,
+    LightingCondition.DARK: VehicleConfigurationId.DARK,
+}
+
+
+@dataclass(frozen=True)
+class SwitchPlan:
+    """The action needed to serve a new lighting condition."""
+
+    kind: SwitchKind
+    target_configuration: VehicleConfigurationId
+    target_condition: LightingCondition
+
+
+def plan_switch(
+    current_condition: LightingCondition,
+    new_condition: LightingCondition,
+) -> SwitchPlan:
+    """Decide between no-op, model swap, and partial reconfiguration."""
+    target = CONFIG_FOR_CONDITION[new_condition]
+    if new_condition is current_condition:
+        kind = SwitchKind.NONE
+    elif CONFIG_FOR_CONDITION[current_condition] is target:
+        kind = SwitchKind.MODEL_SWAP
+    else:
+        kind = SwitchKind.PARTIAL_RECONFIG
+    return SwitchPlan(kind=kind, target_configuration=target, target_condition=new_condition)

@@ -1,0 +1,157 @@
+"""Ambient-light sensing: lux traces and a sampled sensor model.
+
+The paper triggers reconfiguration from "an external signal which indicates
+the light intensity changes".  We model that signal as a scripted ambient
+illuminance trace (piecewise-linear in log-lux, since perception and sensor
+response are logarithmic) sampled by a noisy sensor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LuxTrace:
+    """Piecewise log-linear ambient illuminance over time.
+
+    Attributes:
+        points: (time_s, lux) knots, strictly increasing in time, lux > 0.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ConfigurationError("trace needs at least one point")
+        times = [t for t, _ in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("trace times must be strictly increasing")
+        if any(lux <= 0 for _, lux in self.points):
+            raise ConfigurationError("trace lux values must be positive")
+
+    @property
+    def duration(self) -> float:
+        return self.points[-1][0]
+
+    def lux_at(self, time_s: float) -> float:
+        """Interpolated illuminance; clamped to the end values outside."""
+        pts = self.points
+        if time_s <= pts[0][0]:
+            return pts[0][1]
+        if time_s >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, l0), (t1, l1) in zip(pts, pts[1:]):
+            if t0 <= time_s <= t1:
+                alpha = (time_s - t0) / (t1 - t0)
+                return 10 ** ((1 - alpha) * math.log10(l0) + alpha * math.log10(l1))
+        raise AssertionError("unreachable")
+
+
+def sunset_trace(duration_s: float = 1800.0) -> LuxTrace:
+    """Day -> dusk -> dark over a drive into the evening."""
+    return LuxTrace(
+        points=(
+            (0.0, 30000.0),
+            (duration_s * 0.3, 5000.0),
+            (duration_s * 0.5, 400.0),
+            (duration_s * 0.75, 30.0),
+            (duration_s * 0.9, 2.0),
+            (duration_s, 0.4),
+        )
+    )
+
+
+def tunnel_trace(duration_s: float = 120.0, tunnel_lux: float = 80.0) -> LuxTrace:
+    """Daylight drive through a lit tunnel and back out.
+
+    The paper's example: "entering the tunnel is simply handled by the
+    transition between day and dusk as the tunnel environment is well
+    lighted and is categorized as dusk" — no PR needed.
+    """
+    return LuxTrace(
+        points=(
+            (0.0, 30000.0),
+            (duration_s * 0.25, 25000.0),
+            (duration_s * 0.3, tunnel_lux),
+            (duration_s * 0.7, tunnel_lux),
+            (duration_s * 0.75, 25000.0),
+            (duration_s, 30000.0),
+        )
+    )
+
+
+def urban_evening_trace(duration_s: float = 600.0) -> LuxTrace:
+    """Dusk city drive dipping into dark side streets and back."""
+    return LuxTrace(
+        points=(
+            (0.0, 120.0),
+            (duration_s * 0.2, 40.0),
+            (duration_s * 0.35, 1.5),
+            (duration_s * 0.55, 25.0),
+            (duration_s * 0.7, 0.8),
+            (duration_s, 10.0),
+        )
+    )
+
+
+def flicker_trace(base_lux: float = 6.2, dip_lux: float = 4.2, period_s: float = 4.0, duration_s: float = 60.0) -> LuxTrace:
+    """Illuminance oscillating around the dusk/dark boundary.
+
+    The stress input for the hysteresis ablation: a naive threshold
+    controller reconfigures every period; a hysteretic one does not.
+    """
+    points: list[tuple[float, float]] = [(0.0, base_lux)]
+    t = period_s / 2.0
+    high = False
+    while t < duration_s:
+        points.append((t, base_lux if high else dip_lux))
+        high = not high
+        t += period_s / 2.0
+    points.append((duration_s, base_lux))
+    return LuxTrace(points=tuple(points))
+
+
+@dataclass
+class LightSensor:
+    """Sampled ambient-light sensor with multiplicative noise and dropouts.
+
+    Attributes:
+        trace: Ground-truth illuminance profile.
+        noise_rel: Relative (multiplicative, log-normal) noise sigma.
+        dropout_probability: Chance a sample is lost (returns the last
+            reading — sensors hold their register on a missed conversion).
+        seed: RNG seed.
+    """
+
+    trace: LuxTrace
+    noise_rel: float = 0.05
+    dropout_probability: float = 0.0
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _last: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.noise_rel < 0:
+            raise ConfigurationError(f"noise_rel must be >= 0, got {self.noise_rel}")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ConfigurationError(
+                f"dropout_probability must be in [0, 1), got {self.dropout_probability}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self._last = self.trace.lux_at(0.0)
+
+    def read(self, time_s: float) -> float:
+        """One noisy sensor sample at ``time_s`` (lux)."""
+        if self.dropout_probability and self._rng.random() < self.dropout_probability:
+            return self._last
+        truth = self.trace.lux_at(time_s)
+        if self.noise_rel > 0:
+            truth *= float(np.exp(self._rng.normal(0.0, self.noise_rel)))
+        self._last = truth
+        return truth

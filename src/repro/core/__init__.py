@@ -1,0 +1,25 @@
+"""System core: the adaptive detection system (paper Fig. 6 + control loop)."""
+
+from repro.core.functional import (
+    AdaptiveVehicleDetector,
+    FrameResult,
+    FunctionalConfig,
+)
+from repro.core.system import (
+    MODEL_FOR_CONDITION,
+    AdaptiveDetectionSystem,
+    DriveReport,
+    FrameRecord,
+    SystemConfig,
+)
+
+__all__ = [
+    "AdaptiveDetectionSystem",
+    "AdaptiveVehicleDetector",
+    "FrameResult",
+    "FunctionalConfig",
+    "DriveReport",
+    "FrameRecord",
+    "MODEL_FOR_CONDITION",
+    "SystemConfig",
+]

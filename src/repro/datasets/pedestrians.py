@@ -1,0 +1,101 @@
+"""Procedural pedestrian sprites for the static detection partition.
+
+The static part of the paper's system runs a HOG+SVM pedestrian detector
+(after Hemmati et al., DAC'17).  These sprites provide the upright human
+silhouette HOG responds to: head, torso, two legs, with small pose jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.imaging.draw import fill_disk, fill_rect
+from repro.imaging.geometry import Rect
+
+CLOTHING_TONES = np.array([0.12, 0.2, 0.3, 0.45, 0.6, 0.75])
+
+
+@dataclass(frozen=True)
+class PedestrianSpec:
+    """Geometry of one pedestrian sprite.
+
+    Attributes:
+        height: Sprite height in pixels; width is ~0.42 of it.
+        torso_tone: Clothing reflectance of the torso.
+        legs_tone: Clothing reflectance of the legs.
+        stride: Leg spread in [0, 1]; 0 = standing, 1 = widest gait.
+    """
+
+    height: int
+    torso_tone: float
+    legs_tone: float
+    stride: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.height < 16:
+            raise DatasetError(f"pedestrian height must be >= 16 px, got {self.height}")
+        if not 0.0 <= self.stride <= 1.0:
+            raise DatasetError(f"stride must be in [0, 1], got {self.stride}")
+
+    @property
+    def width(self) -> int:
+        return max(7, int(round(self.height * 0.42)))
+
+
+def random_pedestrian_spec(rng: np.random.Generator, height: int) -> PedestrianSpec:
+    """Sample a pedestrian with random clothing and gait."""
+    return PedestrianSpec(
+        height=height,
+        torso_tone=float(CLOTHING_TONES[rng.integers(0, len(CLOTHING_TONES))]),
+        legs_tone=float(CLOTHING_TONES[rng.integers(0, len(CLOTHING_TONES))]),
+        stride=float(rng.uniform(0.1, 0.9)),
+    )
+
+
+@dataclass
+class PedestrianSprite:
+    """A rendered pedestrian patch (reflectance + alpha)."""
+
+    rgb: np.ndarray
+    alpha: np.ndarray
+    body_rect: Rect
+
+
+def render_pedestrian(spec: PedestrianSpec, rng: np.random.Generator) -> PedestrianSprite:
+    """Render an upright pedestrian silhouette."""
+    h = spec.height
+    w = spec.width
+    rgb = np.zeros((h, w, 3), dtype=np.float64)
+    alpha = np.zeros((h, w), dtype=np.float64)
+
+    skin = 0.55 + float(rng.uniform(-0.1, 0.15))
+    head_r = h * 0.085
+    cx = w / 2.0
+    fill_disk(rgb, cx, head_r + 1, head_r, (skin, skin * 0.9, skin * 0.8))
+    fill_disk(alpha, cx, head_r + 1, head_r, 1.0)
+
+    torso = Rect(cx - w * 0.27, head_r * 2.0, w * 0.54, h * 0.42)
+    tone = spec.torso_tone
+    fill_rect(rgb, torso, (tone, tone * 0.95, tone * 1.05))
+    fill_rect(alpha, torso, 1.0)
+
+    # Arms as thin strips beside the torso.
+    for side in (-1, 1):
+        arm = Rect(cx + side * w * 0.27 - (w * 0.08 if side < 0 else 0), torso.y, w * 0.10, torso.h * 0.9)
+        fill_rect(rgb, arm, (tone * 0.9, tone * 0.85, tone * 0.95))
+        fill_rect(alpha, arm, 1.0)
+
+    # Legs, spread by the gait phase.
+    legs_y = torso.y2
+    leg_h = h - legs_y - 1
+    spread = spec.stride * w * 0.18
+    ltone = spec.legs_tone
+    for side in (-1, 1):
+        leg = Rect(cx + side * (w * 0.06 + spread) - w * 0.09, legs_y, w * 0.17, leg_h)
+        fill_rect(rgb, leg, (ltone, ltone, ltone * 1.08))
+        fill_rect(alpha, leg, 1.0)
+
+    return PedestrianSprite(rgb=rgb, alpha=alpha, body_rect=Rect(0.0, 0.0, float(w), float(h)))

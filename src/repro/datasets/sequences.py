@@ -1,0 +1,177 @@
+"""Temporal drive sequences: consecutive frames with persistent objects.
+
+The single-frame renderer draws an independent scene per seed; sequences
+instead evolve a persistent world state — each vehicle keeps its identity,
+lane, and depth trajectory across frames — so trackers (the extension the
+paper's related work builds on [3]-[5]) can be evaluated with ground-truth
+track identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.lighting import LightingModel
+from repro.datasets.scene import (
+    SceneConfig,
+    SceneFrame,
+    SceneObject,
+    _composite_sprite,
+    add_wet_road_reflections,
+    apply_sensor_model,
+    render_background,
+)
+from repro.datasets.vehicles import random_vehicle_spec, render_vehicle
+from repro.errors import DatasetError
+
+
+@dataclass
+class VehicleTrackState:
+    """The persistent state of one vehicle across a sequence.
+
+    Attributes:
+        track_id: Stable ground-truth identity.
+        lane: Lateral position as a fraction of frame width offset from
+            center (-0.13, 0.0, +0.13 are the three lanes).
+        depth: 0..1; 1 = nearest.  Drives on-screen size and y position.
+        depth_rate: Per-frame depth change (closing or receding).
+        brake_frames: Remaining frames of brake-light boost.
+        spec_seed: Seed for the vehicle's appearance (kept fixed).
+    """
+
+    track_id: int
+    lane: float
+    depth: float
+    depth_rate: float
+    brake_frames: int = 0
+    spec_seed: int = 0
+
+
+@dataclass(frozen=True)
+class SequenceConfig:
+    """Sequence generation parameters."""
+
+    scene: SceneConfig = field(default_factory=SceneConfig)
+    n_frames: int = 25
+    brake_probability: float = 0.03
+    depth_rate_range: tuple[float, float] = (-0.004, 0.004)
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise DatasetError(f"n_frames must be >= 1, got {self.n_frames}")
+        if not 0.0 <= self.brake_probability <= 1.0:
+            raise DatasetError("brake_probability must be in [0, 1]")
+
+
+def render_sequence(
+    config: SequenceConfig,
+    lighting: LightingModel,
+) -> list[SceneFrame]:
+    """Render a temporally-coherent frame sequence.
+
+    Every frame's vehicle objects carry ``track_id`` in their
+    :class:`SceneObject` so tracking metrics have ground truth.  Vehicles
+    that recede past the horizon or close past the camera respawn with a
+    fresh identity.
+    """
+    scfg = config.scene
+    rng = np.random.default_rng(scfg.seed)
+    height, width = scfg.height, scfg.width
+    horizon_y = int(height * scfg.horizon)
+    fill_far, fill_near = scfg.vehicle_fill
+
+    next_id = 0
+    states: list[VehicleTrackState] = []
+    lanes = (-0.13, 0.0, 0.13)
+
+    def spawn(depth: float | None = None) -> VehicleTrackState:
+        nonlocal next_id
+        # Pick the least-occupied lane so vehicles do not overlap.
+        occupancy = {lane: 0 for lane in lanes}
+        for s_ in states:
+            occupancy[s_.lane] = occupancy.get(s_.lane, 0) + 1
+        lane = min(lanes, key=lambda l: (occupancy[l], rng.random()))
+        state = VehicleTrackState(
+            track_id=next_id,
+            lane=lane,
+            depth=float(rng.uniform(0.3, 0.9)) if depth is None else depth,
+            depth_rate=float(rng.uniform(*config.depth_rate_range)),
+            spec_seed=int(rng.integers(0, 2**31)),
+        )
+        next_id += 1
+        return state
+
+    for _ in range(scfg.n_vehicles):
+        states.append(spawn())
+
+    frames: list[SceneFrame] = []
+    for _frame_idx in range(config.n_frames):
+        # Backgrounds redraw per frame (sensor noise is temporal anyway) but
+        # from a frame-local generator so object placement is not consumed.
+        bg_rng = np.random.default_rng(scfg.seed + 7919)
+        reflectance, emissive = render_background(height, width, lighting, bg_rng, scfg.horizon)
+        objects: list[SceneObject] = []
+        # Far-to-near draw order.
+        for state in sorted(states, key=lambda s: s.depth):
+            vw = max(10, int(width * (fill_far + (fill_near - fill_far) * state.depth)))
+            spec_rng = np.random.default_rng(state.spec_seed)
+            spec = random_vehicle_spec(spec_rng, vw)
+            braking = state.brake_frames > 0
+            frame_lighting = lighting
+            if braking and lighting.taillights_on:
+                from dataclasses import replace
+
+                frame_lighting = replace(
+                    lighting,
+                    taillight_intensity=min(1.0, lighting.taillight_intensity * 1.4),
+                )
+            sprite = render_vehicle(spec, frame_lighting, spec_rng)
+            road_y = horizon_y + (height - horizon_y) * (0.15 + 0.8 * state.depth)
+            cx = width / 2.0 + state.lane * width
+            x = int(cx - sprite.alpha.shape[1] / 2.0)
+            y = int(road_y - sprite.alpha.shape[0])
+            _composite_sprite(reflectance, emissive, sprite.rgb, sprite.emissive, sprite.alpha, x, y)
+            body = sprite.body_rect.translated(float(x), float(y)).clipped(width, height)
+            if body is not None:
+                objects.append(
+                    SceneObject(
+                        kind="vehicle",
+                        rect=body,
+                        taillights=[(tx + x, ty + y) for tx, ty in sprite.taillights],
+                        track_id=state.track_id,
+                    )
+                )
+        if lighting.taillights_on and rng.random() < scfg.wet_road_probability:
+            lights = [light for o in objects for light in o.taillights]
+            add_wet_road_reflections(emissive, lights, lighting, rng)
+        lit = np.clip(reflectance * lighting.ambient + emissive, 0.0, 1.0)
+        rgb = apply_sensor_model(lit, lighting, rng)
+        frames.append(SceneFrame(rgb=rgb, lighting=lighting, objects=objects))
+
+        # Advance the world.
+        for i, state in enumerate(states):
+            state.depth += state.depth_rate
+            if state.brake_frames > 0:
+                state.brake_frames -= 1
+            elif rng.random() < config.brake_probability:
+                state.brake_frames = int(rng.integers(3, 9))
+            if not 0.12 <= state.depth <= 0.98:
+                states[i] = spawn(depth=float(rng.uniform(0.35, 0.6)))
+    return frames
+
+
+def track_ground_truth(frames: list[SceneFrame]) -> dict[int, list[tuple[int, SceneObject]]]:
+    """Group vehicle objects by ground-truth track id.
+
+    Returns:
+        {track_id: [(frame_index, object), ...]} in frame order.
+    """
+    tracks: dict[int, list[tuple[int, SceneObject]]] = {}
+    for index, frame in enumerate(frames):
+        for obj in frame.vehicles:
+            if obj.track_id is None:
+                continue
+            tracks.setdefault(obj.track_id, []).append((index, obj))
+    return tracks

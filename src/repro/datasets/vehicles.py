@@ -1,0 +1,230 @@
+"""Procedural rear-view vehicle sprites.
+
+Renders the visual cues the paper's detectors key on:
+
+* day/dusk — body edges and shape boundaries, shadow under the car,
+  windshield/window contrast (the HOG-discriminative structure);
+* dusk/dark — a *pair* of red taillights with bloom, at a lane-plausible
+  spacing (the cue the dark pipeline's DBN + pairing SVM exploits).
+
+Sprites are rendered into an RGB patch with an alpha mask so the scene
+renderer can composite them at any distance/scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.lighting import LightingModel
+from repro.errors import DatasetError
+from repro.imaging.draw import fill_disk, fill_rect, light_glow
+from repro.imaging.geometry import Rect
+
+
+# A muted, plausible palette of car body colors (RGB reflectance).
+BODY_COLORS = np.array(
+    [
+        [0.82, 0.82, 0.84],  # silver
+        [0.12, 0.12, 0.14],  # black
+        [0.78, 0.78, 0.74],  # white
+        [0.45, 0.08, 0.08],  # dark red
+        [0.10, 0.16, 0.35],  # navy
+        [0.16, 0.30, 0.16],  # green
+        [0.42, 0.30, 0.18],  # brown
+        [0.55, 0.57, 0.60],  # gray
+    ]
+)
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    """Geometry and appearance of one rendered vehicle.
+
+    Attributes:
+        width: Sprite width in pixels (height is derived, rear aspect ~0.85).
+        color: RGB body reflectance in [0, 1].
+        taillight_separation: Fraction of body width between the taillights.
+        taillight_radius: Taillight radius as a fraction of body width.
+        has_window: Render the rear window (hatchbacks vs vans).
+    """
+
+    width: int
+    color: tuple[float, float, float]
+    taillight_separation: float = 0.68
+    taillight_radius: float = 0.055
+    has_window: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width < 8:
+            raise DatasetError(f"vehicle width must be >= 8 px, got {self.width}")
+        if not 0.3 <= self.taillight_separation <= 0.95:
+            raise DatasetError(
+                f"taillight_separation must be in [0.3, 0.95], got {self.taillight_separation}"
+            )
+        if not 0.01 <= self.taillight_radius <= 0.2:
+            raise DatasetError(
+                f"taillight_radius must be in [0.01, 0.2], got {self.taillight_radius}"
+            )
+
+    @property
+    def height(self) -> int:
+        return max(8, int(round(self.width * 0.85)))
+
+
+def random_vehicle_spec(rng: np.random.Generator, width: int) -> VehicleSpec:
+    """Sample a plausible vehicle for the given on-screen width."""
+    color = BODY_COLORS[rng.integers(0, len(BODY_COLORS))]
+    jitter = rng.normal(0.0, 0.03, size=3)
+    color = tuple(np.clip(color + jitter, 0.02, 0.95).tolist())
+    return VehicleSpec(
+        width=width,
+        color=color,  # type: ignore[arg-type]
+        taillight_separation=float(rng.uniform(0.60, 0.78)),
+        taillight_radius=float(rng.uniform(0.045, 0.07)),
+        has_window=bool(rng.random() < 0.85),
+    )
+
+
+@dataclass
+class VehicleSprite:
+    """A rendered vehicle patch.
+
+    Attributes:
+        rgb: (H, W, 3) reflectance patch (pre-lighting).
+        emissive: (H, W, 3) additive light patch (taillights with bloom).
+        alpha: (H, W) opacity mask of the body silhouette.
+        taillights: Two (x, y) centers in patch coordinates, or empty when
+            unlit.
+        body_rect: Tight body rectangle inside the patch.
+    """
+
+    rgb: np.ndarray
+    emissive: np.ndarray
+    alpha: np.ndarray
+    taillights: list[tuple[float, float]]
+    body_rect: Rect
+
+
+def render_vehicle(spec: VehicleSpec, lighting: LightingModel, rng: np.random.Generator) -> VehicleSprite:
+    """Render the rear view of a vehicle under a lighting model.
+
+    The reflectance layer is lit later by the scene renderer (multiplied by
+    ambient); taillight emission is returned separately because light *adds*.
+    """
+    w = spec.width
+    h = spec.height
+    # Patch leaves a small margin for the shadow and glow.
+    margin = max(2, w // 8)
+    patch_w, patch_h = w + 2 * margin, h + 2 * margin
+    rgb = np.zeros((patch_h, patch_w, 3), dtype=np.float64)
+    alpha = np.zeros((patch_h, patch_w), dtype=np.float64)
+    emissive = np.zeros((patch_h, patch_w, 3), dtype=np.float64)
+
+    body = Rect(float(margin), float(margin + h * 0.18), float(w), float(h * 0.72))
+    cabin = Rect(
+        float(margin + w * 0.12),
+        float(margin),
+        float(w * 0.76),
+        float(h * 0.32),
+    )
+    color = np.asarray(spec.color)
+
+    # Shadow under the car: a dark band below the body (day/dusk cue).
+    shadow = Rect(body.x, body.y2 - h * 0.06, body.w, h * 0.14 + margin * 0.5)
+    fill_rect(rgb, shadow, color * 0.0 + 0.03)
+    fill_rect(alpha, shadow, 0.9)
+
+    # Cabin / roof slab, slightly darker than the body.
+    fill_rect(rgb, cabin, color * 0.8)
+    fill_rect(alpha, cabin, 1.0)
+    # Body.
+    fill_rect(rgb, body, color)
+    fill_rect(alpha, body, 1.0)
+
+    # Rear window: bright-ish during day (sky reflection), dark otherwise.
+    if spec.has_window:
+        window = Rect(
+            cabin.x + w * 0.06,
+            cabin.y + h * 0.05,
+            cabin.w - w * 0.12,
+            cabin.h * 0.72,
+        )
+        window_tone = 0.55 * lighting.sky_brightness + 0.06
+        fill_rect(rgb, window, (window_tone, window_tone, window_tone * 1.05))
+
+    # Bumper stripe.
+    bumper = Rect(body.x, body.y2 - h * 0.16, body.w, h * 0.10)
+    fill_rect(rgb, bumper, color * 0.65 + 0.05)
+
+    # License plate: small bright rectangle low-center.
+    plate_w = w * 0.22
+    plate = Rect(body.x + (body.w - plate_w) / 2.0, body.y2 - h * 0.30, plate_w, h * 0.09)
+    fill_rect(rgb, plate, (0.75, 0.75, 0.70))
+
+    # Wheels peeking below the body.
+    wheel_r = max(1.5, w * 0.07)
+    for frac in (0.16, 0.84):
+        fill_disk(rgb, body.x + body.w * frac, body.y2 - 1, wheel_r, (0.05, 0.05, 0.05))
+        fill_disk(alpha, body.x + body.w * frac, body.y2 - 1, wheel_r, 1.0)
+
+    # Taillights: when lit, a bright red lens plus bloom; when unlit, the
+    # lens is a low-contrast housing that barely differs from the body, so
+    # it cannot stand in for a lit lamp in any feature space.
+    sep = spec.taillight_separation * w / 2.0
+    cx = body.x + body.w / 2.0
+    ty = body.y + body.h * 0.28
+    radius = max(1.0, spec.taillight_radius * w)
+    centers = [(cx - sep, ty), (cx + sep, ty)]
+    if lighting.taillights_on:
+        lens_color = (0.55, 0.06, 0.06)
+    else:
+        lens_color = tuple(np.clip(color * 0.85 + np.array([0.05, 0.0, 0.0]), 0.0, 1.0).tolist())
+    for lx, ly in centers:
+        fill_disk(rgb, lx, ly, radius, lens_color)
+    taillights: list[tuple[float, float]] = []
+    if lighting.taillights_on and lighting.taillight_intensity > 0:
+        glow_r = radius * 2.2 * lighting.glow_scale
+        for lx, ly in centers:
+            glow = light_glow(patch_h, patch_w, lx, ly, glow_r, lighting.taillight_intensity)
+            emissive[..., 0] += glow
+            emissive[..., 1] += glow * 0.22
+            emissive[..., 2] += glow * 0.12
+            taillights.append((lx, ly))
+        # Slight per-vehicle asymmetry in brightness, as in real footage.
+        emissive *= float(rng.uniform(0.9, 1.0))
+
+    return VehicleSprite(
+        rgb=rgb,
+        emissive=np.clip(emissive, 0.0, 1.0),
+        alpha=np.clip(alpha, 0.0, 1.0),
+        taillights=taillights,
+        body_rect=Rect(body.x, cabin.y, body.w, body.y2 - cabin.y),
+    )
+
+
+def render_headlight_pair(
+    height: int,
+    width: int,
+    cx: float,
+    cy: float,
+    separation: float,
+    radius: float,
+    intensity: float,
+    glow_scale: float,
+) -> np.ndarray:
+    """Emissive patch of an *oncoming* vehicle's white headlights.
+
+    These are the distractors the dark pipeline must reject: bright but
+    white (low Cr), unlike red taillights.
+    """
+    if radius <= 0 or separation <= 0:
+        raise DatasetError("headlight radius and separation must be positive")
+    emissive = np.zeros((height, width, 3), dtype=np.float64)
+    for lx in (cx - separation / 2.0, cx + separation / 2.0):
+        glow = light_glow(height, width, lx, cy, radius * 2.0 * glow_scale, intensity)
+        emissive[..., 0] += glow
+        emissive[..., 1] += glow * 0.97
+        emissive[..., 2] += glow * 0.90
+    return np.clip(emissive, 0.0, 1.0)

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.  Subsystem-specific errors
+refine it: image-shape problems, model-training problems, and hardware /
+simulation problems each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ImageError(ReproError):
+    """An image has the wrong shape, dtype, or value range for an operation."""
+
+
+class GeometryError(ReproError):
+    """A rectangle or region is degenerate or out of bounds."""
+
+
+class FeatureError(ReproError):
+    """Feature extraction was configured inconsistently with its input."""
+
+
+class ModelError(ReproError):
+    """A machine-learning model is misconfigured, untrained, or mismatched."""
+
+
+class NotTrainedError(ModelError):
+    """Prediction was requested from a model that has not been trained."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset was requested with inconsistent parameters."""
+
+
+class PipelineError(ReproError):
+    """A detection pipeline was assembled or driven incorrectly."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors in the hardware models (hw/ and zynq/)."""
+
+
+class ResourceError(HardwareError):
+    """A design does not fit the FPGA resources or partition it targets."""
+
+
+class SimulationError(HardwareError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class BusError(HardwareError):
+    """An AXI transaction was malformed or addressed an unmapped region."""
+
+
+class DmaError(HardwareError):
+    """A DMA engine was programmed inconsistently or aborted a transfer."""
+
+
+class BitstreamError(HardwareError):
+    """A partial bitstream is malformed, corrupt, or targets the wrong region."""
+
+
+class ReconfigurationError(HardwareError):
+    """Partial reconfiguration was requested in an invalid controller state."""
+
+
+class ConfigurationError(ReproError):
+    """A system-level configuration object is inconsistent."""

@@ -1,0 +1,99 @@
+"""Experiment D95 — Section III-B's dark-detection accuracy.
+
+"For the purpose of evaluations, a subset of SYSU dataset was tested with
+our detection method and accuracy of 95% is obtained.  We also evaluate our
+method on a subset of iROADS dataset in very dark environments."
+
+Two evaluations:
+
+* crop-level accuracy of the full dark pipeline on a very dark crop corpus
+  (the SYSU-subset stand-in) — the paper's 95 % number;
+* frame-level evaluation on iROADS-like full frames with oncoming-headlight
+  distractors, plus the HOG models' collapse on the same crops (the reason
+  the dark configuration exists at all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.datasets.synthetic import make_dark_crops, make_iroads_like
+from repro.experiments.common import check_scale, corpora_and_models, detector_with, trained_dark_detector
+from repro.experiments.tables import format_table, pct
+from repro.pipelines.evaluation import (
+    ConfusionCounts,
+    FrameEvaluation,
+    evaluate_crop_classifier,
+    evaluate_frames,
+)
+
+PAPER_DARK_ACCURACY = 0.95
+
+
+@dataclass
+class DarkAccuracyResult:
+    """Measured dark-pipeline accuracy and the HOG baselines."""
+
+    dark_pipeline_crops: ConfusionCounts
+    hog_baselines: dict[str, ConfusionCounts]
+    frames: FrameEvaluation
+    scale: float
+
+    def render(self) -> str:
+        rows: list[list[object]] = [
+            [
+                "dark pipeline (DBN+pairing)",
+                pct(self.dark_pipeline_crops.accuracy),
+                self.dark_pipeline_crops.tp,
+                self.dark_pipeline_crops.tn,
+                self.dark_pipeline_crops.fp,
+                self.dark_pipeline_crops.fn,
+            ]
+        ]
+        for name, counts in self.hog_baselines.items():
+            rows.append(
+                [f"HOG+SVM ({name} model)", pct(counts.accuracy), counts.tp, counts.tn, counts.fp, counts.fn]
+            )
+        table = format_table(
+            ["method", "accuracy", "TP", "TN", "FP", "FN"],
+            rows,
+            title=f"Dark-condition crop accuracy (paper: {pct(PAPER_DARK_ACCURACY)}; scale={self.scale})",
+        )
+        frame_line = (
+            f"iROADS-like frames: frame accuracy {pct(self.frames.frame_accuracy)}, "
+            f"object recall {pct(self.frames.object_recall)}, "
+            f"spurious {self.frames.spurious} over {self.frames.frames_total} frames"
+        )
+        return table + "\n" + frame_line
+
+    def shape_checks(self) -> dict[str, bool]:
+        best_hog = max(c.accuracy for c in self.hog_baselines.values())
+        return {
+            "dark_pipeline_high_accuracy": self.dark_pipeline_crops.accuracy >= 0.85,
+            "dark_pipeline_beats_hog": self.dark_pipeline_crops.accuracy > best_hog,
+        }
+
+
+def run_dark_accuracy(scale: float = 1.0, seed: int = 0, n_frames: int | None = None) -> DarkAccuracyResult:
+    """Evaluate the dark pipeline (and HOG baselines) on dark data."""
+    check_scale(scale)
+    n_crops = max(10, int(math.ceil(100 * scale)))
+    crops = make_dark_crops(n_positive=n_crops, n_negative=n_crops, seed=seed + 21)
+    dark = trained_dark_detector()
+    dark_counts = evaluate_crop_classifier(dark, crops)
+    _, models = corpora_and_models(scale=min(scale, 0.5) if scale < 1.0 else 1.0, seed=seed)
+    hog_counts = {
+        name: evaluate_crop_classifier(detector_with(model), crops)
+        for name, model in models.items()
+    }
+    if n_frames is None:
+        n_frames = max(10, int(math.ceil(60 * scale)))
+    frames = make_iroads_like(n_frames=n_frames, seed=seed + 22)
+    frame_eval = evaluate_frames(dark, frames.frames, kind="vehicle", iou_threshold=0.25)
+    return DarkAccuracyResult(
+        dark_pipeline_crops=dark_counts,
+        hog_baselines=hog_counts,
+        frames=frame_eval,
+        scale=scale,
+    )

@@ -1,0 +1,130 @@
+"""Experiments RT + RL — reconfiguration throughput and latency.
+
+RT (Section IV-A): drive an 8 MB partial bitstream through each of the four
+configuration paths in the SoC simulator and report measured MB/s against
+the published numbers (PCAP 145, AXI HWICAP 19, ZyCAP 382, ours 390;
+theoretical ceiling 400).
+
+RL (Section IV-B): run a drive with dusk<->dark transitions and count
+vehicle frames dropped per reconfiguration (paper: 20 ms = one frame at
+50 fps) and pedestrian drops (paper: zero — "the pedestrian detection
+module continues its work").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adaptive.sensor import LuxTrace, urban_evening_trace
+from repro.core.system import AdaptiveDetectionSystem, DriveReport, SystemConfig
+from repro.experiments.tables import format_table
+from repro.zynq.pr import (
+    ALL_CONTROLLERS,
+    THEORETICAL_MAX_MB_S,
+    BasePrController,
+    ReconfigReport,
+)
+from repro.zynq.soc import ZynqSoC
+
+# Published throughputs (MB/s) from Section IV-A and refs [1], [19].
+PAPER_THROUGHPUT_MB_S = {
+    "pcap": 145.0,
+    "hwicap": 19.0,
+    "zycap": 382.0,
+    "paper-pr": 390.0,
+}
+PAPER_RECONFIG_MS = 20.0
+PAPER_SPEEDUP_OVER_PCAP = 2.6
+
+
+@dataclass
+class ThroughputResult:
+    """Measured throughput per controller."""
+
+    reports: dict[str, ReconfigReport]
+
+    def throughput(self, controller: str) -> float:
+        return self.reports[controller].throughput_mb_s
+
+    def render(self) -> str:
+        rows = []
+        for name, report in self.reports.items():
+            rows.append(
+                [
+                    name,
+                    f"{report.throughput_mb_s:.1f}",
+                    f"{PAPER_THROUGHPUT_MB_S[name]:.1f}",
+                    f"{report.duration_s * 1e3:.2f}",
+                ]
+            )
+        rows.append(["(theoretical max)", f"{THEORETICAL_MAX_MB_S:.1f}", "400.0", "-"])
+        return format_table(
+            ["controller", "MB/s (measured)", "MB/s (paper)", "ms for 8 MB"],
+            rows,
+            title="Reconfiguration throughput (Section IV-A)",
+        )
+
+    def shape_checks(self) -> dict[str, bool]:
+        t = self.throughput
+        return {
+            "ranking_ours>zycap>pcap>hwicap": t("paper-pr") > t("zycap") > t("pcap") > t("hwicap"),
+            "ours_at_least_2.6x_pcap": t("paper-pr") / t("pcap") >= PAPER_SPEEDUP_OVER_PCAP,
+            "all_below_theoretical_max": all(
+                r.throughput_mb_s <= THEORETICAL_MAX_MB_S + 1e-6 for r in self.reports.values()
+            ),
+            "each_within_5pct_of_paper": all(
+                abs(r.throughput_mb_s - PAPER_THROUGHPUT_MB_S[n]) / PAPER_THROUGHPUT_MB_S[n] < 0.05
+                for n, r in self.reports.items()
+            ),
+        }
+
+
+def run_throughput() -> ThroughputResult:
+    """RT: one 8 MB reconfiguration through each controller."""
+    reports: dict[str, ReconfigReport] = {}
+    for cls in ALL_CONTROLLERS:
+        soc = ZynqSoC(controller_cls=cls)
+        report = soc.reconfigure_vehicle("dark")
+        soc.sim.run()
+        reports[cls.name] = report
+    return ThroughputResult(reports=reports)
+
+
+@dataclass
+class LatencyResult:
+    """RL: drive-level reconfiguration cost."""
+
+    drive: DriveReport
+
+    def render(self) -> str:
+        s = self.drive.summary()
+        lines = [
+            "Reconfiguration latency during a drive (Section IV-B)",
+            f"  frames: {s['frames']}, reconfigurations: {s['reconfigurations']}",
+            f"  vehicle frames dropped: {s['vehicle_dropped']} "
+            f"({s['drops_per_reconfiguration']:.2f} per reconfiguration; paper: ~1)",
+            f"  pedestrian frames dropped: {s['pedestrian_dropped']} (paper: 0)",
+            f"  reconfiguration times: {['%.1f ms' % m for m in s['reconfig_ms']]} (paper: ~20 ms)",
+        ]
+        return "\n".join(lines)
+
+    def shape_checks(self) -> dict[str, bool]:
+        s = self.drive.summary()
+        return {
+            "about_one_frame_per_reconfig": 0 < s["drops_per_reconfiguration"] <= 2.0,
+            "pedestrian_uninterrupted": s["pedestrian_dropped"] == 0,
+            "reconfig_time_about_20ms": all(18.0 <= m <= 23.0 for m in s["reconfig_ms"]),
+            "at_least_one_reconfiguration": s["reconfigurations"] >= 1,
+        }
+
+
+def run_latency(
+    trace: LuxTrace | None = None,
+    duration_s: float = 120.0,
+    controller_cls: type[BasePrController] | None = None,
+) -> LatencyResult:
+    """RL: an urban-evening drive with dusk<->dark transitions."""
+    config = SystemConfig() if controller_cls is None else SystemConfig(controller_cls=controller_cls)
+    system = AdaptiveDetectionSystem(config)
+    drive = system.run_drive(trace or urban_evening_trace(duration_s=duration_s))
+    return LatencyResult(drive=drive)

@@ -1,0 +1,113 @@
+"""Experiment T2 — paper Table II: resource utilization.
+
+Builds the three designs from the block-level resource model, floor-plans
+the reconfigurable partition over both vehicle configurations, and renders
+the five-row table (available / static / RP / day-dusk / dark / total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.designs import dark_design, day_dusk_design, static_design
+from repro.hw.floorplan import Partition, plan_vehicle_partition
+from repro.hw.resources import Device, ResourceVector, ZYNQ_7Z100
+from repro.experiments.tables import format_table
+
+# The paper's Table II (percent of available), for comparison in reports.
+PAPER_TABLE2 = {
+    "static": {"LUT": 0.21, "FF": 0.10, "BRAM": 0.12, "DSP48": 0.01},
+    "reconfigurable-partition": {"LUT": 0.45, "FF": 0.45, "BRAM": 0.40, "DSP48": 0.40},
+    "day-dusk": {"LUT": 0.19, "FF": 0.09, "BRAM": 0.11, "DSP48": 0.01},
+    "dark": {"LUT": 0.40, "FF": 0.23, "BRAM": 0.19, "DSP48": 0.29},
+    "total": {"LUT": 0.66, "FF": 0.55, "BRAM": 0.52, "DSP48": 0.41},
+}
+
+RESOURCE_CLASSES = ("LUT", "FF", "BRAM", "DSP48")
+
+
+@dataclass
+class Table2Result:
+    """Measured Table II with the underlying design reports."""
+
+    device: Device
+    static: ResourceVector
+    day_dusk: ResourceVector
+    dark: ResourceVector
+    partition: Partition
+
+    @property
+    def total(self) -> ResourceVector:
+        """Static + the whole RP capacity (the paper's summation rule)."""
+        return self.static + self.partition.capacity
+
+    def utilization_rows(self) -> dict[str, dict[str, float]]:
+        u = self.device.utilization
+        return {
+            "static": u(self.static),
+            "reconfigurable-partition": u(self.partition.capacity),
+            "day-dusk": u(self.day_dusk),
+            "dark": u(self.dark),
+            "total": u(self.total),
+        }
+
+    def render(self) -> str:
+        avail = self.device.available
+        rows: list[list[object]] = [
+            ["Available Resources", avail.lut, avail.ff, avail.bram, avail.dsp],
+        ]
+        labels = {
+            "static": "Static Design",
+            "reconfigurable-partition": "Reconfigurable Partition",
+            "day-dusk": "Day and Dusk Design",
+            "dark": "Dark Design",
+            "total": "Total Usage",
+        }
+        measured = self.utilization_rows()
+        for key, label in labels.items():
+            row: list[object] = [label]
+            for cls in RESOURCE_CLASSES:
+                ours = measured[key][cls]
+                paper = PAPER_TABLE2[key][cls]
+                row.append(f"{100 * ours:.0f}% ({100 * paper:.0f}%)")
+            rows.append(row)
+        return format_table(
+            ["", "LUT", "FF", "BRAM", "DSP48"],
+            rows,
+            title=f"Table II on {self.device.name} — measured (paper)",
+        )
+
+    def shape_checks(self) -> dict[str, bool]:
+        measured = self.utilization_rows()
+        dark_u = measured["dark"]
+        dd_u = measured["day-dusk"]
+        return {
+            # "the dark configuration consumes more resources"
+            "dark_is_largest_configuration": all(
+                dark_u[c] >= dd_u[c] for c in RESOURCE_CLASSES
+            ),
+            "both_configs_fit_partition": self.partition.fits(self.day_dusk)
+            and self.partition.fits(self.dark),
+            "total_fits_device": self.total.fits_in(self.device.available),
+            # within 5 points of every paper cell
+            "matches_paper_within_5pts": all(
+                abs(measured[row][c] - PAPER_TABLE2[row][c]) <= 0.05
+                for row in measured
+                for c in RESOURCE_CLASSES
+            ),
+        }
+
+
+def run_table2(device: Device = ZYNQ_7Z100) -> Table2Result:
+    """Reproduce Table II from the block-level resource model."""
+    static = static_design().total
+    day_dusk = day_dusk_design().total
+    dark = dark_design().total
+    partition = plan_vehicle_partition([day_dusk, dark], device=device)
+    return Table2Result(
+        device=device,
+        static=static,
+        day_dusk=day_dusk,
+        dark=dark,
+        partition=partition,
+    )

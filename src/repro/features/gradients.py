@@ -1,0 +1,65 @@
+"""Gradient magnitude/orientation maps for HOG.
+
+The hardware "Gradient Calculation" stage (paper Fig. 1) computes per-pixel
+gradient magnitude and quantised orientation from central differences.  The
+software model keeps full precision; the quantisation into orientation bins
+happens in the histogram stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.imaging.filters import central_gradient
+from repro.imaging.image import ensure_gray
+
+
+@dataclass(frozen=True)
+class GradientField:
+    """Per-pixel gradient magnitude and orientation.
+
+    Attributes:
+        magnitude: (H, W) non-negative gradient magnitudes.
+        orientation: (H, W) angles in radians, folded into [0, pi) for the
+            unsigned-gradient convention HOG uses.
+    """
+
+    magnitude: np.ndarray
+    orientation: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.magnitude.shape
+
+
+def gradient_field(image: np.ndarray) -> GradientField:
+    """Compute the unsigned gradient field of a gray image."""
+    arr = ensure_gray(image)
+    gx, gy = central_gradient(arr)
+    magnitude = np.hypot(gx, gy)
+    orientation = np.arctan2(gy, gx)  # [-pi, pi]
+    orientation = np.mod(orientation, np.pi)  # unsigned: [0, pi)
+    return GradientField(magnitude=magnitude, orientation=orientation)
+
+
+def orientation_bins(field: GradientField, n_bins: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Soft-assign each pixel's orientation to two adjacent bins.
+
+    Linear interpolation between neighbouring orientation bins, exactly as in
+    Dalal-Triggs.  Returns (bin_lo, weight_lo, weight_hi) where ``bin_lo`` is
+    the lower bin index per pixel and the upper bin is ``(bin_lo+1) % n_bins``.
+    """
+    if n_bins < 2:
+        raise FeatureError(f"need at least 2 orientation bins, got {n_bins}")
+    bin_width = np.pi / n_bins
+    # Center of bin b is (b + 0.5) * bin_width.
+    position = field.orientation / bin_width - 0.5
+    bin_lo = np.floor(position).astype(int)
+    frac = position - bin_lo
+    bin_lo = np.mod(bin_lo, n_bins)
+    weight_hi = frac
+    weight_lo = 1.0 - frac
+    return bin_lo, weight_lo, weight_hi

@@ -1,0 +1,266 @@
+"""Histogram-of-oriented-gradients descriptor (Dalal-Triggs).
+
+This is the exact feature the paper uses for day/dusk vehicle detection and
+for the static pedestrian detector: gradient -> per-cell orientation
+histograms -> block normalisation (paper Fig. 1 / Fig. 2).  The
+implementation mirrors the three hardware stages so the streaming timing
+model in ``repro.hw`` can be attached to the same structure:
+
+* ``cell_histograms``   <-> "Gradient Calculation" + "Histogram Generation"
+* ``normalize_blocks``  <-> "Block Normalization" / "HOG Normalizer"
+* ``HogDescriptor.extract`` <-> the full "HOG Feature Extraction" pipeline
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FeatureError
+from repro.features.gradients import GradientField, gradient_field, orientation_bins
+from repro.imaging.image import ensure_gray
+
+
+@dataclass(frozen=True)
+class HogConfig:
+    """HOG layout parameters.
+
+    Attributes:
+        window: (height, width) of the detector window in pixels.
+        cell_size: Side of a square cell in pixels.
+        block_size: Side of a square block in cells (2 means 2x2 cells).
+        block_stride: Block step in cells (1 means half-overlapping blocks
+            for the default 2x2 block).
+        n_bins: Orientation bins over [0, pi).
+        clip: L2-Hys clipping value applied during block normalisation.
+    """
+
+    window: tuple[int, int] = (64, 64)
+    cell_size: int = 8
+    block_size: int = 2
+    block_stride: int = 1
+    n_bins: int = 9
+    clip: float = 0.2
+
+    def __post_init__(self) -> None:
+        win_h, win_w = self.window
+        if self.cell_size < 1:
+            raise FeatureError(f"cell_size must be >= 1, got {self.cell_size}")
+        if win_h % self.cell_size or win_w % self.cell_size:
+            raise FeatureError(
+                f"window {self.window} not divisible by cell_size {self.cell_size}"
+            )
+        if self.block_size < 1 or self.block_stride < 1:
+            raise FeatureError("block_size and block_stride must be >= 1")
+        if self.n_bins < 2:
+            raise FeatureError(f"n_bins must be >= 2, got {self.n_bins}")
+        if self.block_size > min(self.cells_shape):
+            raise FeatureError(
+                f"block of {self.block_size} cells exceeds window of {self.cells_shape} cells"
+            )
+        if self.clip <= 0:
+            raise FeatureError(f"clip must be positive, got {self.clip}")
+
+    @property
+    def cells_shape(self) -> tuple[int, int]:
+        """(rows, cols) of cells inside the window."""
+        return (self.window[0] // self.cell_size, self.window[1] // self.cell_size)
+
+    @property
+    def blocks_shape(self) -> tuple[int, int]:
+        """(rows, cols) of blocks inside the window."""
+        cr, cc = self.cells_shape
+        return (
+            (cr - self.block_size) // self.block_stride + 1,
+            (cc - self.block_size) // self.block_stride + 1,
+        )
+
+    @property
+    def block_length(self) -> int:
+        """Feature values per block."""
+        return self.block_size * self.block_size * self.n_bins
+
+    @property
+    def feature_length(self) -> int:
+        """Total descriptor length for one window."""
+        br, bc = self.blocks_shape
+        return br * bc * self.block_length
+
+
+def cell_histograms(image: np.ndarray, config: HogConfig) -> np.ndarray:
+    """Per-cell orientation histograms for a window-sized image.
+
+    Args:
+        image: Gray image whose shape equals ``config.window``.
+
+    Returns:
+        (cell_rows, cell_cols, n_bins) histogram tensor.
+    """
+    arr = ensure_gray(image)
+    if arr.shape != config.window:
+        raise FeatureError(f"image shape {arr.shape} != window {config.window}")
+    field = gradient_field(arr)
+    return cell_histograms_from_field(field, config.cell_size, config.n_bins)
+
+
+def cell_histograms_from_field(field: GradientField, cell_size: int, n_bins: int) -> np.ndarray:
+    """Cell histograms for an arbitrary-size gradient field.
+
+    The field's shape must be divisible by ``cell_size``.  Dense detection
+    reuses this over a whole frame, then slides windows over the cell grid.
+    """
+    height, width = field.shape
+    if height % cell_size or width % cell_size:
+        raise FeatureError(
+            f"field shape {field.shape} not divisible by cell_size {cell_size}"
+        )
+    bin_lo, w_lo, w_hi = orientation_bins(field, n_bins)
+    bin_hi = (bin_lo + 1) % n_bins
+    rows, cols = height // cell_size, width // cell_size
+    hist = np.zeros((rows, cols, n_bins), dtype=np.float64)
+    mag = field.magnitude
+    cell_row = np.repeat(np.arange(rows), cell_size)
+    cell_col = np.repeat(np.arange(cols), cell_size)
+    flat_cell = (cell_row[:, None] * cols + cell_col[None, :]).ravel()
+    # Scatter-add magnitude into (cell, bin) pairs for both soft-assigned bins.
+    flat_hist = np.zeros(rows * cols * n_bins, dtype=np.float64)
+    np.add.at(flat_hist, flat_cell * n_bins + bin_lo.ravel(), (mag * w_lo).ravel())
+    np.add.at(flat_hist, flat_cell * n_bins + bin_hi.ravel(), (mag * w_hi).ravel())
+    hist[...] = flat_hist.reshape(rows, cols, n_bins)
+    return hist
+
+
+def normalize_block(block: np.ndarray, clip: float = 0.2, eps: float = 1e-6) -> np.ndarray:
+    """L2-Hys normalisation of one flattened block vector."""
+    vec = np.asarray(block, dtype=np.float64).ravel()
+    norm = np.sqrt(np.dot(vec, vec) + eps**2)
+    vec = vec / norm
+    vec = np.minimum(vec, clip)
+    norm = np.sqrt(np.dot(vec, vec) + eps**2)
+    return vec / norm
+
+
+def normalize_blocks(cells: np.ndarray, config: HogConfig) -> np.ndarray:
+    """Form overlapping blocks from a cell-histogram tensor and L2-Hys them.
+
+    Args:
+        cells: (rows, cols, n_bins) cell histograms (any rows/cols >= block).
+
+    Returns:
+        (block_rows, block_cols, block_length) normalised block features.
+    """
+    tensor = np.asarray(cells, dtype=np.float64)
+    if tensor.ndim != 3 or tensor.shape[2] != config.n_bins:
+        raise FeatureError(
+            f"cells must be (rows, cols, {config.n_bins}), got {tensor.shape}"
+        )
+    rows, cols, _ = tensor.shape
+    bs, stride = config.block_size, config.block_stride
+    if rows < bs or cols < bs:
+        raise FeatureError(f"cell grid {rows}x{cols} smaller than block {bs}x{bs}")
+    block_rows = (rows - bs) // stride + 1
+    block_cols = (cols - bs) // stride + 1
+    out = np.zeros((block_rows, block_cols, config.block_length), dtype=np.float64)
+    for br in range(block_rows):
+        for bc in range(block_cols):
+            r0, c0 = br * stride, bc * stride
+            block = tensor[r0 : r0 + bs, c0 : c0 + bs, :]
+            out[br, bc, :] = normalize_block(block, clip=config.clip)
+    return out
+
+
+class HogDescriptor:
+    """Window-level HOG feature extractor.
+
+    The three-stage structure matches the hardware pipeline of paper Fig. 2;
+    use :meth:`extract` for a single window and :meth:`extract_dense` to
+    share cell histograms across all windows of a frame.
+    """
+
+    def __init__(self, config: HogConfig | None = None):
+        self.config = config or HogConfig()
+
+    @property
+    def feature_length(self) -> int:
+        return self.config.feature_length
+
+    def extract(self, window: np.ndarray) -> np.ndarray:
+        """Descriptor for one window-sized gray image (1-D float vector)."""
+        cells = cell_histograms(window, self.config)
+        blocks = normalize_blocks(cells, self.config)
+        return blocks.ravel()
+
+    def extract_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Descriptors for a stack of windows shaped (N, H, W)."""
+        batch = np.asarray(windows, dtype=np.float64)
+        if batch.ndim != 3:
+            raise FeatureError(f"windows must be (N, H, W), got {batch.shape}")
+        return np.stack([self.extract(w) for w in batch])
+
+    def extract_dense(self, image: np.ndarray) -> tuple[np.ndarray, "DenseHogLayout"]:
+        """Cell/block features over a whole frame for sliding-window reuse.
+
+        The image is cropped (bottom/right) to a whole number of cells.
+
+        Returns:
+            (blocks, layout): ``blocks`` is the frame's normalised block
+            tensor; ``layout`` maps window positions to feature slices.
+        """
+        arr = ensure_gray(image)
+        cs = self.config.cell_size
+        rows = (arr.shape[0] // cs) * cs
+        cols = (arr.shape[1] // cs) * cs
+        if rows < self.config.window[0] or cols < self.config.window[1]:
+            raise FeatureError(
+                f"image {arr.shape} smaller than window {self.config.window}"
+            )
+        field = gradient_field(arr[:rows, :cols])
+        cells = cell_histograms_from_field(field, cs, self.config.n_bins)
+        blocks = normalize_blocks(cells, self.config)
+        return blocks, DenseHogLayout(self.config, blocks.shape[0], blocks.shape[1])
+
+
+@dataclass(frozen=True)
+class DenseHogLayout:
+    """Maps window positions (in cells) into a dense block tensor."""
+
+    config: HogConfig
+    frame_block_rows: int
+    frame_block_cols: int
+
+    @property
+    def window_blocks(self) -> tuple[int, int]:
+        return self.config.blocks_shape
+
+    def window_positions(self, cell_stride: int = 1) -> list[tuple[int, int]]:
+        """All (block_row, block_col) origins of full windows in the frame."""
+        wb_r, wb_c = self.window_blocks
+        return [
+            (r, c)
+            for r in range(0, self.frame_block_rows - wb_r + 1, cell_stride)
+            for c in range(0, self.frame_block_cols - wb_c + 1, cell_stride)
+        ]
+
+    def window_feature(self, blocks: np.ndarray, block_row: int, block_col: int) -> np.ndarray:
+        """Slice one window's descriptor out of the dense block tensor."""
+        wb_r, wb_c = self.window_blocks
+        view = blocks[block_row : block_row + wb_r, block_col : block_col + wb_c, :]
+        if view.shape[:2] != (wb_r, wb_c):
+            raise FeatureError(
+                f"window at block ({block_row}, {block_col}) exceeds frame blocks"
+            )
+        return view.ravel()
+
+    def window_rect(self, block_row: int, block_col: int):
+        """Pixel-space rectangle of the window at a block origin."""
+        from repro.imaging.geometry import Rect
+
+        cs = self.config.cell_size
+        stride_px = self.config.block_stride * cs
+        return Rect(
+            float(block_col * stride_px),
+            float(block_row * stride_px),
+            float(self.config.window[1]),
+            float(self.config.window[0]),
+        )

@@ -1,0 +1,184 @@
+"""FPGA resource accounting: vectors, device, block-level estimators.
+
+Models the LUT / FF / BRAM / DSP48 cost of each hardware block well enough
+to regenerate the paper's Table II.  The *available* figures match the
+paper's device row exactly (277 400 LUT, 554 800 FF, 755 BRAM, 2 020 DSP48 —
+a Zynq-7000 XC7Z100, as on the Mini-ITX board the paper uses).
+
+Estimators are parametric in the architecture (datapath widths, window
+sizes, layer sizes), with per-block constants calibrated against the
+published implementation results of the paper and its DAC'17 predecessor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of the four fabric resource classes."""
+
+    lut: int = 0
+    ff: int = 0
+    bram: int = 0  # 36 kb block RAMs
+    dsp: int = 0  # DSP48 slices
+
+    def __post_init__(self) -> None:
+        if min(self.lut, self.ff, self.bram, self.dsp) < 0:
+            raise ResourceError(f"resources must be >= 0, got {self}")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram=self.bram + other.bram,
+            dsp=self.dsp + other.dsp,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        """Ceil-scaled copy (floor-planning slack, replication)."""
+        if factor < 0:
+            raise ResourceError(f"scale factor must be >= 0, got {factor}")
+        return ResourceVector(
+            lut=math.ceil(self.lut * factor),
+            ff=math.ceil(self.ff * factor),
+            bram=math.ceil(self.bram * factor),
+            dsp=math.ceil(self.dsp * factor),
+        )
+
+    def fits_in(self, budget: "ResourceVector") -> bool:
+        return (
+            self.lut <= budget.lut
+            and self.ff <= budget.ff
+            and self.bram <= budget.bram
+            and self.dsp <= budget.dsp
+        )
+
+    def max_with(self, other: "ResourceVector") -> "ResourceVector":
+        """Elementwise maximum (sizing a partition over configurations)."""
+        return ResourceVector(
+            lut=max(self.lut, other.lut),
+            ff=max(self.ff, other.ff),
+            bram=max(self.bram, other.bram),
+            dsp=max(self.dsp, other.dsp),
+        )
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA fabric's available resources."""
+
+    name: str
+    available: ResourceVector
+
+    def utilization(self, used: ResourceVector) -> dict[str, float]:
+        """Fractional utilization per resource class."""
+        return {
+            "LUT": used.lut / self.available.lut,
+            "FF": used.ff / self.available.ff,
+            "BRAM": used.bram / self.available.bram,
+            "DSP48": used.dsp / self.available.dsp,
+        }
+
+
+# The paper's Table II device row.
+ZYNQ_7Z100 = Device(
+    name="XC7Z100",
+    available=ResourceVector(lut=277_400, ff=554_800, bram=755, dsp=2_020),
+)
+
+
+# Primitive estimators ------------------------------------------------------
+
+
+def bram_for_bits(bits: int) -> int:
+    """36 kb BRAMs needed to hold ``bits`` (each is 36 * 1024 bits)."""
+    if bits < 0:
+        raise ResourceError(f"bits must be >= 0, got {bits}")
+    return max(0, math.ceil(bits / (36 * 1024)))
+
+
+def line_buffer(rows: int, width: int, bits_per_pixel: int) -> ResourceVector:
+    """Row buffers for a sliding vertical window over a raster stream."""
+    if rows < 0 or width < 1 or bits_per_pixel < 1:
+        raise ResourceError("invalid line buffer geometry")
+    bits = rows * width * bits_per_pixel
+    # Address generators and write logic: ~30 LUT/FF per row.
+    return ResourceVector(lut=30 * rows, ff=40 * rows, bram=bram_for_bits(bits), dsp=0)
+
+
+def adder_tree(inputs: int, bits: int) -> ResourceVector:
+    """A pipelined adder tree; LUT ~= inputs * bits, FF for pipelining."""
+    if inputs < 1 or bits < 1:
+        raise ResourceError("invalid adder tree geometry")
+    luts = inputs * bits
+    return ResourceVector(lut=luts, ff=luts, bram=0, dsp=0)
+
+
+def mac_array(n_macs: int, use_dsp: bool = True, bits: int = 16) -> ResourceVector:
+    """Parallel multiply-accumulate units.
+
+    DSP48-mapped MACs cost one DSP plus a little glue; LUT-mapped MACs
+    (used for narrow/binary operands) cost fabric only.
+    """
+    if n_macs < 0:
+        raise ResourceError("n_macs must be >= 0")
+    if use_dsp:
+        return ResourceVector(lut=20 * n_macs, ff=30 * n_macs, bram=0, dsp=n_macs)
+    return ResourceVector(lut=bits * 12 * n_macs, ff=bits * 8 * n_macs, bram=0, dsp=0)
+
+
+def divider(bits: int = 16) -> ResourceVector:
+    """Pipelined fixed-point divider (block normalisation)."""
+    return ResourceVector(lut=bits * 25, ff=bits * 30, bram=0, dsp=1)
+
+
+def sqrt_unit(bits: int = 16) -> ResourceVector:
+    """Pipelined fixed-point square root (L2 norm)."""
+    return ResourceVector(lut=bits * 18, ff=bits * 22, bram=0, dsp=0)
+
+
+def comparator_bank(n: int, bits: int = 8) -> ResourceVector:
+    """Parallel comparators (thresholding, classifiers)."""
+    return ResourceVector(lut=max(1, n * bits // 2), ff=n * bits // 2, bram=0, dsp=0)
+
+
+def fifo(depth_bits: int) -> ResourceVector:
+    """Clock-domain / rate-matching FIFO."""
+    return ResourceVector(lut=120, ff=180, bram=bram_for_bits(depth_bits), dsp=0)
+
+
+def axi_dma_core() -> ResourceVector:
+    """One AXI DMA (MM2S or S2MM path pair), per Xilinx IP utilization."""
+    return ResourceVector(lut=1_800, ff=2_600, bram=4, dsp=0)
+
+
+def axi_interconnect(n_masters: int) -> ResourceVector:
+    """AXI crossbar; grows with master count."""
+    if n_masters < 1:
+        raise ResourceError("interconnect needs at least one master")
+    return ResourceVector(lut=1_200 + 700 * n_masters, ff=1_500 + 800 * n_masters, bram=0, dsp=0)
+
+
+def axi_lite_slave() -> ResourceVector:
+    """Register-file control interface."""
+    return ResourceVector(lut=350, ff=500, bram=0, dsp=0)
+
+
+def icap_controller() -> ResourceVector:
+    """The paper's PR controller: ICAP manager + glue around ICAPE2."""
+    return ResourceVector(lut=850, ff=1_200, bram=2, dsp=0)
+
+
+def ddr_controller_pl() -> ResourceVector:
+    """PL-side DDR3 controller (MIG) for the bitstream store."""
+    return ResourceVector(lut=11_000, ff=9_000, bram=3, dsp=0)
+
+
+def video_io() -> ResourceVector:
+    """Video in/out, pixel formatting, color conversion, sync extraction."""
+    return ResourceVector(lut=3_200, ff=3_600, bram=6, dsp=9)

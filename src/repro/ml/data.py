@@ -1,0 +1,72 @@
+"""Small dataset utilities: splits, shuffling, class balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (x_train, y_train, x_test, y_test).
+
+    Stratified per label value so small classes survive the split.
+    """
+    x = np.asarray(features)
+    y = np.asarray(labels).ravel()
+    if x.shape[0] != y.size:
+        raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for value in np.unique(y):
+        idx = np.flatnonzero(y == value)
+        rng.shuffle(idx)
+        n_test = max(1, int(round(idx.size * test_fraction)))
+        if n_test >= idx.size:
+            n_test = idx.size - 1
+        test_idx.extend(idx[:n_test].tolist())
+        train_idx.extend(idx[n_test:].tolist())
+    train = np.asarray(sorted(train_idx))
+    test = np.asarray(sorted(test_idx))
+    return x[train], y[train], x[test], y[test]
+
+
+def shuffle_together(features: np.ndarray, labels: np.ndarray, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffle samples and labels with the same permutation."""
+    x = np.asarray(features)
+    y = np.asarray(labels).ravel()
+    if x.shape[0] != y.size:
+        raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
+    order = np.random.default_rng(seed).permutation(y.size)
+    return x[order], y[order]
+
+
+def balance_classes(
+    features: np.ndarray,
+    labels: np.ndarray,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Downsample every class to the size of the smallest one."""
+    x = np.asarray(features)
+    y = np.asarray(labels).ravel()
+    if x.shape[0] != y.size:
+        raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
+    rng = np.random.default_rng(seed)
+    groups = [np.flatnonzero(y == value) for value in np.unique(y)]
+    target = min(g.size for g in groups)
+    if target == 0:
+        raise ModelError("a class has no samples")
+    keep: list[int] = []
+    for g in groups:
+        rng.shuffle(g)
+        keep.extend(g[:target].tolist())
+    keep_arr = np.asarray(sorted(keep))
+    return x[keep_arr], y[keep_arr]

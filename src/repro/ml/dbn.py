@@ -1,0 +1,183 @@
+"""Deep belief network: stacked RBMs + softmax head, greedy pretraining.
+
+This is the paper's taillight classifier: "a DBN with 81 visible inputs
+corresponding to the binary values of a 9x9 window of the image ... two
+hidden layers with 20 and 8 hidden nodes ... the final output layer consists
+of 4 nodes which determine the size and shape class of taillights."
+
+Training follows the classical recipe: greedy layer-wise CD pretraining of
+each RBM on the previous layer's hidden probabilities, then supervised
+training of the softmax head (optionally with backprop fine-tuning through
+the whole stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError, NotTrainedError
+from repro.ml.logistic import SoftmaxConfig, SoftmaxLayer, one_hot, sigmoid, softmax
+from repro.ml.rbm import Rbm, RbmConfig
+
+# The paper's architecture, verbatim: 9x9 binary window -> 20 -> 8 -> 4.
+PAPER_DBN_LAYERS = (81, 20, 8)
+PAPER_DBN_CLASSES = 4
+
+
+@dataclass
+class DbnConfig:
+    """Hyperparameters for the full DBN training recipe.
+
+    Attributes:
+        layers: Unit counts (visible, hidden1, hidden2, ...).
+        n_classes: Output classes of the softmax head.
+        rbm: CD training config shared by all RBM layers.
+        head: Softmax head training config.
+        finetune_epochs: Backprop epochs through the whole stack (0 skips).
+        finetune_rate: Backprop learning rate.
+        seed: Base seed; layer i uses seed + i.
+    """
+
+    layers: tuple[int, ...] = PAPER_DBN_LAYERS
+    n_classes: int = PAPER_DBN_CLASSES
+    rbm: RbmConfig = field(default_factory=RbmConfig)
+    head: SoftmaxConfig = field(default_factory=SoftmaxConfig)
+    finetune_epochs: int = 400
+    finetune_rate: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.layers) < 2:
+            raise ModelError("DBN needs at least one hidden layer")
+        if any(n < 1 for n in self.layers):
+            raise ModelError(f"layer sizes must be >= 1, got {self.layers}")
+        if self.n_classes < 2:
+            raise ModelError(f"n_classes must be >= 2, got {self.n_classes}")
+        if self.finetune_epochs < 0:
+            raise ModelError("finetune_epochs must be >= 0")
+
+
+class DeepBeliefNetwork:
+    """Stacked-RBM classifier with greedy pretraining and optional fine-tune."""
+
+    def __init__(self, config: DbnConfig | None = None):
+        self.config = config or DbnConfig()
+        cfg = self.config
+        self.rbms: list[Rbm] = []
+        for i in range(len(cfg.layers) - 1):
+            layer_cfg = RbmConfig(
+                learning_rate=cfg.rbm.learning_rate,
+                epochs=cfg.rbm.epochs,
+                batch_size=cfg.rbm.batch_size,
+                cd_k=cfg.rbm.cd_k,
+                momentum=cfg.rbm.momentum,
+                weight_decay=cfg.rbm.weight_decay,
+                seed=cfg.seed + i,
+            )
+            self.rbms.append(Rbm(cfg.layers[i], cfg.layers[i + 1], layer_cfg))
+        self.head = SoftmaxLayer(cfg.layers[-1], cfg.n_classes, cfg.head)
+        self._trained = False
+
+    @property
+    def n_visible(self) -> int:
+        return self.config.layers[0]
+
+    # Representation -------------------------------------------------------
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Propagate mean-field activations up to the top hidden layer."""
+        acts = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        if acts.shape[1] != self.n_visible:
+            raise ModelError(
+                f"input width {acts.shape[1]} != visible units {self.n_visible}"
+            )
+        for rbm in self.rbms:
+            acts = rbm.hidden_probabilities(acts)
+        return acts
+
+    # Training --------------------------------------------------------------
+
+    def pretrain(self, data: np.ndarray) -> list[list[float]]:
+        """Greedy layer-wise CD pretraining; returns per-layer error traces."""
+        acts = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        traces: list[list[float]] = []
+        for rbm in self.rbms:
+            traces.append(rbm.fit(acts))
+            acts = rbm.hidden_probabilities(acts)
+        return traces
+
+    def fit(self, data: np.ndarray, labels: np.ndarray) -> dict:
+        """Pretrain, train the head, and (optionally) fine-tune.
+
+        Args:
+            data: (N, n_visible) binary (or [0,1]) windows.
+            labels: (N,) integer class labels in [0, n_classes).
+
+        Returns:
+            Training report: RBM error traces, head losses, fine-tune losses.
+        """
+        x = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        y = np.asarray(labels, dtype=np.int64).ravel()
+        if x.shape[0] != y.size:
+            raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
+        rbm_traces = self.pretrain(x)
+        top = self.transform(x)
+        head_losses = self.head.fit(top, y)
+        finetune_losses = self._finetune(x, y) if self.config.finetune_epochs else []
+        self._trained = True
+        return {
+            "rbm_errors": rbm_traces,
+            "head_losses": head_losses,
+            "finetune_losses": finetune_losses,
+        }
+
+    def _finetune(self, x: np.ndarray, y: np.ndarray) -> list[float]:
+        """Full-stack backprop on cross-entropy (sigmoid hiddens, softmax out)."""
+        cfg = self.config
+        targets = one_hot(y, cfg.n_classes)
+        n = x.shape[0]
+        rate = cfg.finetune_rate
+        losses: list[float] = []
+        for _ in range(cfg.finetune_epochs):
+            # Forward pass, keeping activations per layer.
+            activations = [x]
+            for rbm in self.rbms:
+                activations.append(sigmoid(activations[-1] @ rbm.weights + rbm.hidden_bias))
+            probs = softmax(activations[-1] @ self.head.weights + self.head.bias)
+            loss = -np.mean(np.sum(targets * np.log(probs + 1e-12), axis=1))
+            losses.append(float(loss))
+            # Backward pass.
+            delta = (probs - targets) / n
+            grad_w_head = activations[-1].T @ delta
+            grad_b_head = delta.sum(axis=0)
+            back = delta @ self.head.weights.T
+            self.head.weights -= rate * grad_w_head
+            self.head.bias -= rate * grad_b_head
+            for idx in range(len(self.rbms) - 1, -1, -1):
+                act = activations[idx + 1]
+                delta_h = back * act * (1.0 - act)
+                grad_w = activations[idx].T @ delta_h
+                grad_b = delta_h.sum(axis=0)
+                back = delta_h @ self.rbms[idx].weights.T
+                self.rbms[idx].weights -= rate * grad_w
+                self.rbms[idx].hidden_bias -= rate * grad_b
+        return losses
+
+    # Prediction -------------------------------------------------------------
+
+    def predict_proba(self, data: np.ndarray) -> np.ndarray:
+        """(N, n_classes) class probabilities."""
+        if not self._trained:
+            raise NotTrainedError("DeepBeliefNetwork has not been fit")
+        return self.head.predict_proba(self.transform(data))
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Most probable class per sample."""
+        return np.argmax(self.predict_proba(data), axis=1)
+
+    def score(self, data: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled set."""
+        y = np.asarray(labels, dtype=np.int64).ravel()
+        return float(np.mean(self.predict(data) == y))

@@ -1,0 +1,108 @@
+"""Shared linear-model plumbing: weights, bias, decision values.
+
+Both the LibLINEAR-style SVM (day/dusk/pedestrian classifiers) and the
+logistic output layer of the DBN expose a linear decision function; the
+hardware SVM classifier stage is a dot product against a model stored in
+block RAM, so keeping the model as a plain (w, b) pair mirrors the paper's
+"Trained Model" memories directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError, NotTrainedError
+
+
+@dataclass
+class LinearModel:
+    """A trained linear decision function ``f(x) = w . x + b``.
+
+    Attributes:
+        weights: 1-D weight vector.
+        bias: Scalar intercept.
+        label_positive: Label returned for f(x) > 0.
+        label_negative: Label returned for f(x) <= 0.
+        meta: Free-form provenance (training set name, solver stats...).
+    """
+
+    weights: np.ndarray
+    bias: float
+    label_positive: int = 1
+    label_negative: int = -1
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64).ravel()
+        if self.weights.size == 0:
+            raise ModelError("weights must be non-empty")
+
+    @property
+    def n_features(self) -> int:
+        return self.weights.size
+
+    def decision_values(self, features: np.ndarray) -> np.ndarray:
+        """Raw margins for one vector or a (N, D) batch."""
+        arr = np.asarray(features, dtype=np.float64)
+        if arr.ndim == 1:
+            if arr.size != self.n_features:
+                raise ModelError(
+                    f"feature length {arr.size} != model dimension {self.n_features}"
+                )
+            return np.asarray(arr @ self.weights + self.bias)
+        if arr.ndim == 2:
+            if arr.shape[1] != self.n_features:
+                raise ModelError(
+                    f"feature width {arr.shape[1]} != model dimension {self.n_features}"
+                )
+            return arr @ self.weights + self.bias
+        raise ModelError(f"features must be 1-D or 2-D, got {arr.ndim}-D")
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class labels (label_positive / label_negative)."""
+        values = np.atleast_1d(self.decision_values(features))
+        return np.where(values > 0.0, self.label_positive, self.label_negative)
+
+    def model_divergence(self, other: "LinearModel") -> float:
+        """Angular distance in [0, 1] between two models' weight vectors.
+
+        0 means identical direction, 1 means opposite.  Used to verify the
+        paper's remark that the day/dusk/combined models "look very
+        different".
+        """
+        if other.n_features != self.n_features:
+            raise ModelError("cannot compare models of different dimension")
+        na = np.linalg.norm(self.weights)
+        nb = np.linalg.norm(other.weights)
+        if na == 0.0 or nb == 0.0:
+            raise ModelError("cannot compare a zero model")
+        cos = float(np.dot(self.weights, other.weights) / (na * nb))
+        cos = max(-1.0, min(1.0, cos))
+        return float(np.arccos(cos) / np.pi)
+
+
+def require_trained(model: "LinearModel | None", name: str) -> LinearModel:
+    """Raise :class:`NotTrainedError` when ``model`` is None."""
+    if model is None:
+        raise NotTrainedError(f"{name} has not been trained yet")
+    return model
+
+
+def validate_training_set(features: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Common checks for binary training data; labels must be +1/-1."""
+    x = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.float64).ravel()
+    if x.ndim != 2:
+        raise ModelError(f"features must be (N, D), got shape {x.shape}")
+    if x.shape[0] != y.size:
+        raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
+    if x.shape[0] < 2:
+        raise ModelError("need at least 2 training samples")
+    uniques = set(np.unique(y).tolist())
+    if not uniques.issubset({-1.0, 1.0}):
+        raise ModelError(f"labels must be +1/-1, got {sorted(uniques)}")
+    if uniques != {-1.0, 1.0}:
+        raise ModelError("training set must contain both classes")
+    return x, y

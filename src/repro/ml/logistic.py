@@ -1,0 +1,119 @@
+"""Softmax / logistic output layer used as the DBN's supervised head.
+
+The DBN of the paper has "a final output layer [of] 4 nodes which determine
+the size and shape class of taillights" — a multinomial classifier stacked on
+the top RBM's hidden activations.  Trained with plain batch gradient descent
+on the cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError, NotTrainedError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically stable softmax."""
+    arr = np.asarray(logits, dtype=np.float64)
+    shifted = arr - arr.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise logistic function, stable for large |x|."""
+    arr = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(arr)
+    pos = arr >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-arr[pos]))
+    expx = np.exp(arr[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """(N,) int labels -> (N, n_classes) one-hot floats."""
+    y = np.asarray(labels, dtype=np.int64).ravel()
+    if y.size == 0:
+        raise ModelError("labels must be non-empty")
+    if y.min() < 0 or y.max() >= n_classes:
+        raise ModelError(f"labels must be in [0, {n_classes}), got range [{y.min()}, {y.max()}]")
+    out = np.zeros((y.size, n_classes), dtype=np.float64)
+    out[np.arange(y.size), y] = 1.0
+    return out
+
+
+@dataclass
+class SoftmaxConfig:
+    """Training parameters for the softmax layer."""
+
+    learning_rate: float = 0.5
+    epochs: int = 200
+    l2: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ModelError(f"learning_rate must be positive, got {self.learning_rate}")
+        if self.epochs < 1:
+            raise ModelError(f"epochs must be >= 1, got {self.epochs}")
+        if self.l2 < 0:
+            raise ModelError(f"l2 must be >= 0, got {self.l2}")
+
+
+@dataclass
+class SoftmaxLayer:
+    """Multinomial logistic regression: ``p = softmax(x W + b)``."""
+
+    n_inputs: int
+    n_classes: int
+    config: SoftmaxConfig = field(default_factory=SoftmaxConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1 or self.n_classes < 2:
+            raise ModelError(
+                f"need n_inputs >= 1 and n_classes >= 2, got {self.n_inputs}, {self.n_classes}"
+            )
+        rng = np.random.default_rng(self.config.seed)
+        self.weights = rng.normal(0.0, 0.01, size=(self.n_inputs, self.n_classes))
+        self.bias = np.zeros(self.n_classes)
+        self._trained = False
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> list[float]:
+        """Batch gradient descent on cross-entropy; returns the loss trace."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.n_inputs:
+            raise ModelError(f"features must be (N, {self.n_inputs}), got {x.shape}")
+        targets = one_hot(labels, self.n_classes)
+        if targets.shape[0] != x.shape[0]:
+            raise ModelError("features and labels must align")
+        cfg = self.config
+        n = x.shape[0]
+        losses: list[float] = []
+        for _ in range(cfg.epochs):
+            probs = softmax(x @ self.weights + self.bias)
+            err = probs - targets
+            grad_w = x.T @ err / n + cfg.l2 * self.weights
+            grad_b = err.mean(axis=0)
+            self.weights -= cfg.learning_rate * grad_w
+            self.bias -= cfg.learning_rate * grad_b
+            loss = -np.mean(np.sum(targets * np.log(probs + 1e-12), axis=1))
+            losses.append(float(loss + 0.5 * cfg.l2 * np.sum(self.weights**2)))
+        self._trained = True
+        return losses
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """(N, n_classes) class probabilities."""
+        if not self._trained:
+            raise NotTrainedError("SoftmaxLayer has not been fit")
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if x.shape[1] != self.n_inputs:
+            raise ModelError(f"features must be (N, {self.n_inputs}), got {x.shape}")
+        return softmax(x @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        return np.argmax(self.predict_proba(features), axis=1)

@@ -1,0 +1,105 @@
+"""Serialisation of trained models.
+
+Linear models save to a small JSON+base64 format (the "Trained Model" block
+RAM contents of the hardware, effectively); DBNs save via ``npz``.  All
+loaders validate shapes before constructing objects.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.dbn import DbnConfig, DeepBeliefNetwork
+from repro.ml.linear import LinearModel
+
+
+def _encode_array(arr: np.ndarray) -> dict:
+    data = np.ascontiguousarray(arr, dtype=np.float64)
+    return {
+        "shape": list(data.shape),
+        "data": base64.b64encode(data.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(obj: dict) -> np.ndarray:
+    raw = base64.b64decode(obj["data"])
+    arr = np.frombuffer(raw, dtype=np.float64).copy()
+    expected = int(np.prod(obj["shape"])) if obj["shape"] else 1
+    if arr.size != expected:
+        raise ModelError(f"corrupt array payload: {arr.size} values for shape {obj['shape']}")
+    return arr.reshape(obj["shape"])
+
+
+def save_linear_model(model: LinearModel, path: str | Path) -> None:
+    """Write a LinearModel to a JSON file."""
+    payload = {
+        "format": "repro-linear-model",
+        "version": 1,
+        "weights": _encode_array(model.weights),
+        "bias": model.bias,
+        "label_positive": model.label_positive,
+        "label_negative": model.label_negative,
+        "meta": model.meta,
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_linear_model(path: str | Path) -> LinearModel:
+    """Read a LinearModel written by :func:`save_linear_model`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-linear-model":
+        raise ModelError(f"{path} is not a repro linear model file")
+    return LinearModel(
+        weights=_decode_array(payload["weights"]),
+        bias=float(payload["bias"]),
+        label_positive=int(payload["label_positive"]),
+        label_negative=int(payload["label_negative"]),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def save_dbn(dbn: DeepBeliefNetwork, path: str | Path) -> None:
+    """Write a trained DBN's parameters to an ``npz`` archive."""
+    arrays: dict[str, np.ndarray] = {
+        "layers": np.asarray(dbn.config.layers, dtype=np.int64),
+        "n_classes": np.asarray([dbn.config.n_classes], dtype=np.int64),
+        "head_weights": dbn.head.weights,
+        "head_bias": dbn.head.bias,
+    }
+    for i, rbm in enumerate(dbn.rbms):
+        arrays[f"rbm{i}_weights"] = rbm.weights
+        arrays[f"rbm{i}_vbias"] = rbm.visible_bias
+        arrays[f"rbm{i}_hbias"] = rbm.hidden_bias
+    np.savez(Path(path), **arrays)
+
+
+def load_dbn(path: str | Path) -> DeepBeliefNetwork:
+    """Read a DBN written by :func:`save_dbn`; it loads ready for inference."""
+    with np.load(Path(path)) as archive:
+        layers = tuple(int(v) for v in archive["layers"])
+        n_classes = int(archive["n_classes"][0])
+        dbn = DeepBeliefNetwork(DbnConfig(layers=layers, n_classes=n_classes))
+        for i, rbm in enumerate(dbn.rbms):
+            weights = archive[f"rbm{i}_weights"]
+            if weights.shape != rbm.weights.shape:
+                raise ModelError(
+                    f"layer {i} weight shape {weights.shape} != expected {rbm.weights.shape}"
+                )
+            rbm.weights = weights
+            rbm.visible_bias = archive[f"rbm{i}_vbias"]
+            rbm.hidden_bias = archive[f"rbm{i}_hbias"]
+        head_w = archive["head_weights"]
+        if head_w.shape != dbn.head.weights.shape:
+            raise ModelError(
+                f"head weight shape {head_w.shape} != expected {dbn.head.weights.shape}"
+            )
+        dbn.head.weights = head_w
+        dbn.head.bias = archive["head_bias"]
+        dbn.head._trained = True
+        dbn._trained = True
+    return dbn

@@ -1,0 +1,73 @@
+"""Feature scaling helpers for classifier inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, NotTrainedError
+
+
+class StandardScaler:
+    """Per-feature zero-mean / unit-variance scaling.
+
+    The taillight-pair SVM operates on heterogeneous geometric features
+    (pixel distances, area ratios, angles); standardising them keeps the
+    dual solver well-conditioned.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 1:
+            raise ModelError(f"features must be a non-empty (N, D) array, got {x.shape}")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant features scale to 1 so they pass through (centred) untouched.
+        self.scale_ = np.where(std > 1e-12, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotTrainedError("StandardScaler has not been fit")
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if x.shape[1] != self.mean_.size:
+            raise ModelError(
+                f"feature width {x.shape[1]} != fitted width {self.mean_.size}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+class MinMaxScaler:
+    """Per-feature scaling into [0, 1] (used to binarise DBN inputs)."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 1:
+            raise ModelError(f"features must be a non-empty (N, D) array, got {x.shape}")
+        self.min_ = x.min(axis=0)
+        span = x.max(axis=0) - self.min_
+        self.range_ = np.where(span > 1e-12, span, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.min_ is None or self.range_ is None:
+            raise NotTrainedError("MinMaxScaler has not been fit")
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if x.shape[1] != self.min_.size:
+            raise ModelError(
+                f"feature width {x.shape[1]} != fitted width {self.min_.size}"
+            )
+        return np.clip((x - self.min_) / self.range_, 0.0, 1.0)
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

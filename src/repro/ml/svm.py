@@ -1,0 +1,163 @@
+"""Linear SVM trained by dual coordinate descent — the LibLINEAR algorithm.
+
+The paper trains its day / dusk / combined vehicle models and the pedestrian
+model with LibLINEAR [16].  This module implements LibLINEAR's default
+solver, dual coordinate descent for L2-regularised L1- or L2-loss SVC
+(Hsieh et al., ICML 2008), from scratch on numpy:
+
+    min_a  1/2 a^T Q a - e^T a
+    s.t.   0 <= a_i <= U          (U = C for L1 loss, inf for L2 loss)
+
+with Q_ij = y_i y_j x_i.x_j (+ diag D/(2C) for L2 loss), maintaining
+w = sum_i a_i y_i x_i so every coordinate update is O(D).
+
+A bias term is handled LibLINEAR-style by augmenting each sample with a
+constant feature of 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.linear import LinearModel, validate_training_set
+
+
+@dataclass(frozen=True)
+class SvmConfig:
+    """Solver parameters.
+
+    Attributes:
+        c: Regularisation strength (LibLINEAR -c), larger = less regularised.
+        loss: "l2" (default, LibLINEAR -s 1) or "l1" hinge loss.
+        tolerance: Stop when the projected-gradient spread falls below this.
+        max_iter: Hard cap on outer epochs over the data.
+        bias_scale: Value of the augmented bias feature (LibLINEAR -B).
+        seed: RNG seed for coordinate permutation.
+    """
+
+    c: float = 1.0
+    loss: str = "l2"
+    tolerance: float = 1e-3
+    max_iter: int = 1000
+    bias_scale: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.c <= 0:
+            raise ModelError(f"C must be positive, got {self.c}")
+        if self.loss not in ("l1", "l2"):
+            raise ModelError(f"loss must be 'l1' or 'l2', got {self.loss!r}")
+        if self.tolerance <= 0:
+            raise ModelError(f"tolerance must be positive, got {self.tolerance}")
+        if self.max_iter < 1:
+            raise ModelError(f"max_iter must be >= 1, got {self.max_iter}")
+        if self.bias_scale < 0:
+            raise ModelError(f"bias_scale must be >= 0, got {self.bias_scale}")
+
+
+class LinearSvm:
+    """L2-regularised linear SVM with a LibLINEAR-style dual solver."""
+
+    def __init__(self, config: SvmConfig | None = None):
+        self.config = config or SvmConfig()
+
+    def train(self, features: np.ndarray, labels: np.ndarray, name: str = "svm") -> LinearModel:
+        """Fit on (N, D) features with +1/-1 labels; returns a LinearModel.
+
+        The returned model's ``meta`` records solver statistics (epochs,
+        final PG spread, support-vector count) and the given model ``name``
+        so experiment reports can identify day/dusk/combined models.
+        """
+        x, y = validate_training_set(features, labels)
+        cfg = self.config
+        n, d = x.shape
+        if cfg.bias_scale > 0:
+            x = np.hstack([x, np.full((n, 1), cfg.bias_scale)])
+        rng = np.random.default_rng(cfg.seed)
+
+        if cfg.loss == "l1":
+            upper = cfg.c
+            diag = 0.0
+        else:  # l2 loss
+            upper = np.inf
+            diag = 1.0 / (2.0 * cfg.c)
+
+        sq_norm = np.einsum("ij,ij->i", x, x) + diag
+        alpha = np.zeros(n)
+        w = np.zeros(x.shape[1])
+        epochs = 0
+        pg_spread = np.inf
+        # Shrinking bounds on the projected gradient, as in LibLINEAR.
+        pg_max_old, pg_min_old = np.inf, -np.inf
+        active = np.arange(n)
+        for epoch in range(cfg.max_iter):
+            epochs = epoch + 1
+            rng.shuffle(active)
+            pg_max, pg_min = -np.inf, np.inf
+            survivors = []
+            for i in active:
+                grad = y[i] * (x[i] @ w) - 1.0 + diag * alpha[i]
+                # Projected gradient.
+                if alpha[i] == 0.0:
+                    if grad > pg_max_old:
+                        continue  # shrink
+                    pg = min(grad, 0.0)
+                elif alpha[i] >= upper:
+                    if grad < pg_min_old:
+                        continue  # shrink
+                    pg = max(grad, 0.0)
+                else:
+                    pg = grad
+                survivors.append(i)
+                pg_max = max(pg_max, pg)
+                pg_min = min(pg_min, pg)
+                if abs(pg) > 1e-14:
+                    old = alpha[i]
+                    alpha[i] = min(max(old - grad / sq_norm[i], 0.0), upper)
+                    delta = (alpha[i] - old) * y[i]
+                    if delta != 0.0:
+                        w += delta * x[i]
+            pg_spread = pg_max - pg_min
+            if pg_spread <= cfg.tolerance:
+                if len(survivors) == n:
+                    break
+                # Converged on the shrunken set; re-activate everything.
+                active = np.arange(n)
+                pg_max_old, pg_min_old = np.inf, -np.inf
+                continue
+            active = np.asarray(survivors if survivors else range(n))
+            pg_max_old = pg_max if pg_max > 0 else np.inf
+            pg_min_old = pg_min if pg_min < 0 else -np.inf
+
+        if cfg.bias_scale > 0:
+            weights, bias = w[:-1], float(w[-1] * cfg.bias_scale)
+        else:
+            weights, bias = w, 0.0
+        return LinearModel(
+            weights=weights,
+            bias=bias,
+            meta={
+                "name": name,
+                "solver": f"dual-cd-{cfg.loss}",
+                "c": cfg.c,
+                "epochs": epochs,
+                "pg_spread": float(pg_spread),
+                "n_support": int(np.count_nonzero(alpha > 1e-12)),
+                "n_train": n,
+                "n_features": d,
+            },
+        )
+
+
+def train_svm(
+    features: np.ndarray,
+    labels: np.ndarray,
+    c: float = 1.0,
+    name: str = "svm",
+    **kwargs,
+) -> LinearModel:
+    """Convenience wrapper: train a LinearSvm with the given C."""
+    return LinearSvm(SvmConfig(c=c, **kwargs)).train(features, labels, name=name)

@@ -1,0 +1,48 @@
+"""Shared detection types: detections, pipeline protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.imaging.geometry import Rect
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detector output.
+
+    Attributes:
+        rect: Location in native frame coordinates.
+        score: Detector confidence (SVM margin or pipeline-specific score).
+        kind: "vehicle" or "pedestrian".
+        extra: Pipeline-specific payload (e.g. taillight centers).
+    """
+
+    rect: Rect
+    score: float
+    kind: str = "vehicle"
+    extra: dict = field(default_factory=dict)
+
+
+@runtime_checkable
+class DetectionPipeline(Protocol):
+    """What the reconfigurable partition exposes to the system level.
+
+    Both vehicle configurations (HOG+SVM and the dark DBN pipeline) and the
+    static pedestrian detector implement this protocol, mirroring the
+    paper's requirement that "the two partial configurations have the same
+    interface to the other parts of the design".
+    """
+
+    name: str
+
+    def detect(self, frame: np.ndarray) -> list[Detection]:
+        """Run detection over an (H, W, 3) RGB frame in [0, 1]."""
+        ...
+
+    def classify_crop(self, crop: np.ndarray) -> tuple[bool, float]:
+        """Classify one window crop; returns (is_target, score)."""
+        ...

@@ -1,0 +1,138 @@
+"""Persist trained detector bundles to disk.
+
+The hardware stores trained models in block RAM and partial bitstreams in
+PL DDR; the software analogue is a *bundle directory* holding everything a
+deployment needs:
+
+    bundle/
+      day.json  dusk.json  combined.json    # Fig. 1's three SVM models
+      dark_dbn.npz                           # the 81-20-8-4 DBN
+      dark_pair_svm.json                     # taillight pairing SVM
+      dark_pair_scaler.npz                   # its feature standardiser
+      manifest.json                          # versions and inventory
+
+``save_detector_bundle`` / ``load_detector_bundle`` round-trip the full
+adaptive detector set; loaded detectors are inference-ready.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.linear import LinearModel
+from repro.ml.model_io import load_dbn, load_linear_model, save_dbn, save_linear_model
+from repro.ml.scaler import StandardScaler
+from repro.pipelines.dark import DarkConfig, DarkVehicleDetector
+from repro.pipelines.taillight import TaillightPairMatcher
+
+BUNDLE_FORMAT = "repro-detector-bundle"
+BUNDLE_VERSION = 1
+
+
+def save_scaler(scaler: StandardScaler, path: str | Path) -> None:
+    """Write a fitted StandardScaler to an npz file."""
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise ModelError("cannot save an unfitted StandardScaler")
+    np.savez(Path(path), mean=scaler.mean_, scale=scaler.scale_)
+
+
+def load_scaler(path: str | Path) -> StandardScaler:
+    """Read a StandardScaler written by :func:`save_scaler`."""
+    with np.load(Path(path)) as archive:
+        scaler = StandardScaler()
+        scaler.mean_ = archive["mean"]
+        scaler.scale_ = archive["scale"]
+    return scaler
+
+
+def save_detector_bundle(
+    directory: str | Path,
+    condition_models: dict[str, LinearModel],
+    dark_detector: DarkVehicleDetector,
+) -> Path:
+    """Write the full adaptive detector set to ``directory``.
+
+    Args:
+        directory: Target directory (created if missing).
+        condition_models: The Fig. 1 models, e.g. {"day": ..., "dusk": ...,
+            "combined": ...}.
+        dark_detector: A *trained* dark pipeline.
+
+    Returns:
+        The bundle directory path.
+    """
+    if dark_detector.dbn is None or dark_detector.matcher is None or dark_detector.matcher.model is None:
+        raise ModelError("dark detector must be trained before saving")
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    for name, model in condition_models.items():
+        save_linear_model(model, root / f"{name}.json")
+    save_dbn(dark_detector.dbn, root / "dark_dbn.npz")
+    save_linear_model(dark_detector.matcher.model, root / "dark_pair_svm.json")
+    save_scaler(dark_detector.matcher.scaler, root / "dark_pair_scaler.npz")
+    manifest = {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "condition_models": sorted(condition_models),
+        "dark_config": {
+            "luma_threshold": dark_detector.config.luma_threshold,
+            "luma_margin": dark_detector.config.luma_margin,
+            "cr_threshold": dark_detector.config.cr_threshold,
+            "use_chroma": dark_detector.config.use_chroma,
+            "downsample_factor": dark_detector.config.downsample_factor,
+            "downsample_vote": dark_detector.config.downsample_vote,
+            "closing_size": dark_detector.config.closing_size,
+            "min_blob_windows": dark_detector.config.min_blob_windows,
+            "max_candidates": dark_detector.config.max_candidates,
+            "aspect_range": list(dark_detector.config.aspect_range),
+        },
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return root
+
+
+def load_detector_bundle(
+    directory: str | Path,
+) -> tuple[dict[str, LinearModel], DarkVehicleDetector]:
+    """Read a bundle written by :func:`save_detector_bundle`.
+
+    Returns:
+        (condition_models, dark_detector) ready for inference.
+    """
+    root = Path(directory)
+    manifest_path = root / "manifest.json"
+    if not manifest_path.exists():
+        raise ModelError(f"{root} is not a detector bundle (no manifest.json)")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != BUNDLE_FORMAT:
+        raise ModelError(f"{root} has unknown bundle format {manifest.get('format')!r}")
+    models = {
+        name: load_linear_model(root / f"{name}.json")
+        for name in manifest["condition_models"]
+    }
+    cfg = manifest["dark_config"]
+    config = DarkConfig(
+        luma_threshold=cfg["luma_threshold"],
+        luma_margin=cfg["luma_margin"],
+        cr_threshold=cfg["cr_threshold"],
+        use_chroma=cfg["use_chroma"],
+        downsample_factor=cfg["downsample_factor"],
+        downsample_vote=cfg["downsample_vote"],
+        closing_size=cfg["closing_size"],
+        min_blob_windows=cfg["min_blob_windows"],
+        max_candidates=cfg["max_candidates"],
+        aspect_range=tuple(cfg["aspect_range"]),
+    )
+    matcher = TaillightPairMatcher()
+    matcher.model = load_linear_model(root / "dark_pair_svm.json")
+    matcher.scaler = load_scaler(root / "dark_pair_scaler.npz")
+    dark = DarkVehicleDetector(
+        config=config,
+        dbn=load_dbn(root / "dark_dbn.npz"),
+        matcher=matcher,
+    )
+    return models, dark

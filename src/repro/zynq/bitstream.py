@@ -1,0 +1,104 @@
+"""Partial bitstreams and their repository.
+
+A partial bitstream is modelled by its size, target partition, and an
+integrity word; the PR controllers check integrity before driving ICAP, and
+the failure-injection tests corrupt it.  The paper's partial bit files are
+8 MB and reconfigure in ~20 ms.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import BitstreamError
+
+# The paper's partial bitstream size ("with our partial bit files of 8MB",
+# decimal MB: 8 MB / 390 MB/s = 20.5 ms, the paper's "20ms" figure).
+PAPER_PARTIAL_BITSTREAM_BYTES = 8_000_000
+
+
+@dataclass
+class PartialBitstream:
+    """One partial configuration file.
+
+    Attributes:
+        name: Configuration name ("day_dusk", "dark", ...).
+        partition: Target reconfigurable partition name.
+        size_bytes: File size (drives reconfiguration time).
+        payload_seed: Stand-in for the configuration frames; the CRC is
+            computed over it.
+    """
+
+    name: str
+    partition: str = "vehicle"
+    size_bytes: int = PAPER_PARTIAL_BITSTREAM_BYTES
+    payload_seed: int = 0
+    _crc: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise BitstreamError(f"bitstream size must be positive, got {self.size_bytes}")
+        if self.size_bytes % 4 != 0:
+            raise BitstreamError("bitstream size must be a whole number of 32-bit words")
+        self._crc = self._compute_crc()
+
+    def _compute_crc(self) -> int:
+        header = f"{self.name}:{self.partition}:{self.size_bytes}:{self.payload_seed}"
+        return zlib.crc32(header.encode())
+
+    @property
+    def crc(self) -> int:
+        return self._crc
+
+    @property
+    def words(self) -> int:
+        return self.size_bytes // 4
+
+    def verify(self) -> bool:
+        """True when the stored CRC matches the payload."""
+        return self._crc == self._compute_crc()
+
+    def corrupt(self) -> None:
+        """Flip the integrity word (models a damaged file in DDR)."""
+        self._crc ^= 0xDEADBEEF
+
+
+class BitstreamRepository:
+    """The PL-DDR-resident store of partial bitstreams.
+
+    The paper's flow "initially transfer[s] partial bitstreams to the DDR
+    module which is dedicated to PL"; this class is that store.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, PartialBitstream] = {}
+
+    def add(self, bitstream: PartialBitstream) -> None:
+        if bitstream.name in self._store:
+            raise BitstreamError(f"bitstream {bitstream.name!r} already loaded")
+        self._store[bitstream.name] = bitstream
+
+    def get(self, name: str) -> PartialBitstream:
+        if name not in self._store:
+            raise BitstreamError(
+                f"bitstream {name!r} not in PL DDR (loaded: {sorted(self._store)})"
+            )
+        return self._store[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._store)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def paper_bitstreams() -> BitstreamRepository:
+    """The two partial configurations of the paper's vehicle partition."""
+    repo = BitstreamRepository()
+    repo.add(PartialBitstream(name="day_dusk", payload_seed=1))
+    repo.add(PartialBitstream(name="dark", payload_seed=2))
+    return repo

@@ -1,0 +1,127 @@
+"""AXI DMA engine model (MM2S / S2MM).
+
+A DMA engine is programmed by the PS through its AXI-Lite registers with a
+descriptor (source/size) and then moves data over its :class:`BusLink`,
+raising its interrupt line on completion — exactly the Fig. 6 flow:
+"Processing system initiates the DMA data transfer by writing to its
+registers and defining the size of data."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DmaError
+from repro.zynq.bus import BusLink
+from repro.zynq.events import Simulator, Trace
+from repro.zynq.interrupts import InterruptController
+
+# Register-programming cost: a handful of AXI-Lite writes from the PS.
+DMA_SETUP_TIME_S = 1.0e-6
+
+
+class DmaState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """One programmed transfer."""
+
+    n_bytes: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_bytes <= 0:
+            raise DmaError(f"transfer size must be positive, got {self.n_bytes}")
+
+
+class DmaEngine:
+    """One AXI DMA channel bound to a link and an interrupt line."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        link: BusLink,
+        interrupts: InterruptController,
+        trace: Trace | None = None,
+        burst_beats: int | None = None,
+    ):
+        self.name = name
+        self.sim = sim
+        self.link = link
+        self.interrupts = interrupts
+        self.trace = trace
+        self.burst_beats = burst_beats
+        self.state = DmaState.IDLE
+        self.transfers_completed = 0
+        self.bytes_transferred = 0
+        self.irq_line = f"{name}.done"
+        self.error_line = f"{name}.error"
+        interrupts.register(self.irq_line)
+        interrupts.register(self.error_line)
+        self._inject_error_next = False
+
+    def inject_error(self) -> None:
+        """Make the next transfer abort with a DMA error (failure testing)."""
+        self._inject_error_next = True
+
+    def start(
+        self,
+        descriptor: DmaDescriptor,
+        on_done: Callable[[], None] | None = None,
+        on_error: Callable[[], None] | None = None,
+    ) -> None:
+        """Program and start a transfer; raises on a busy engine.
+
+        Completion raises the engine's interrupt line and calls ``on_done``;
+        an aborted transfer raises the error line and calls ``on_error``.
+        """
+        if self.state is DmaState.BUSY:
+            raise DmaError(f"{self.name}: programmed while busy")
+        if self.state is DmaState.ERROR:
+            raise DmaError(f"{self.name}: in error state; reset() first")
+        self.state = DmaState.BUSY
+        if self.trace is not None:
+            self.trace.log(self.sim.now, self.name, f"start {descriptor.label} ({descriptor.n_bytes} B)")
+        inject = self._inject_error_next
+        self._inject_error_next = False
+
+        def after_setup() -> None:
+            if inject:
+                self.state = DmaState.ERROR
+                if self.trace is not None:
+                    self.trace.log(self.sim.now, self.name, f"ERROR on {descriptor.label}")
+                self.interrupts.raise_irq(self.error_line)
+                if on_error is not None:
+                    on_error()
+                return
+            self.link.request(
+                descriptor.n_bytes,
+                on_done=complete,
+                burst_beats=self.burst_beats,
+                label=f"{self.name}:{descriptor.label}",
+            )
+
+        def complete() -> None:
+            self.state = DmaState.IDLE
+            self.transfers_completed += 1
+            self.bytes_transferred += descriptor.n_bytes
+            if self.trace is not None:
+                self.trace.log(self.sim.now, self.name, f"done {descriptor.label}")
+            self.interrupts.raise_irq(self.irq_line)
+            if on_done is not None:
+                on_done()
+
+        self.sim.schedule(DMA_SETUP_TIME_S, after_setup)
+
+    def reset(self) -> None:
+        """Clear an error state (soft reset through AXI-Lite)."""
+        if self.state is DmaState.BUSY:
+            raise DmaError(f"{self.name}: cannot reset a busy engine")
+        self.state = DmaState.IDLE

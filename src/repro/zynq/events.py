@@ -1,0 +1,146 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic event kernel: events are (time, sequence, callback)
+triples in a heap; ties in time break by scheduling order, so runs are fully
+reproducible.  Components schedule work with :meth:`Simulator.schedule` and
+communicate through plain Python calls at event time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Deterministic discrete-event simulator; time unit is the second."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._sequence = 0
+        self.now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self.now + delay, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule at an absolute time (>= now)."""
+        return self.schedule(time - self.now, callback)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now - 1e-15:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self.now = max(self.now, event.time)
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains (or the safety cap trips)."""
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            count = 0
+            while self.step():
+                count += 1
+                if count > max_events:
+                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+        finally:
+            self._running = False
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+        """Run events with timestamps <= ``time``; advances now to ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot run backwards to {time} (now={self.now})")
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run_until())")
+        self._running = True
+        try:
+            count = 0
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > time:
+                    break
+                self.step()
+                count += 1
+                if count > max_events:
+                    raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
+            self.now = max(self.now, time)
+        finally:
+            self._running = False
+
+
+@dataclass
+class TraceRecord:
+    """One timestamped trace entry."""
+
+    time: float
+    source: str
+    message: str
+
+
+class Trace:
+    """An append-only event trace shared by SoC components."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def log(self, time: float, source: str, message: str) -> None:
+        self.records.append(TraceRecord(time=time, source=source, message=message))
+
+    def from_source(self, source: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.source == source]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,142 @@
+"""PS firmware model: the interrupt-driven driver on the ARM cores.
+
+The paper: "the software applications on ARM cores manage the data transfer
+between PS and PL and control the reconfiguration process", with DMA cores
+and detectors signalling completion through interrupts.  This module is
+that software as an explicit state machine: it subscribes to the SoC's
+interrupt lines, keeps per-stream frame queues, programs the next transfer
+from the ISR path, and serialises reconfiguration requests.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.zynq.soc import FRAME_BYTES, ZynqSoC
+
+
+class StreamState(enum.Enum):
+    IDLE = "idle"
+    STREAMING = "streaming"
+
+
+@dataclass
+class FirmwareStats:
+    """Counters the driver keeps (the paper reads them via perf counters)."""
+
+    frames_queued: int = 0
+    frames_started: int = 0
+    frames_completed: int = 0
+    frames_rejected: int = 0
+    reconfigs_requested: int = 0
+    reconfigs_completed: int = 0
+    reconfigs_deferred: int = 0
+    dma_errors: int = 0
+
+
+class DetectionFirmware:
+    """Interrupt-driven frame and reconfiguration management on the PS.
+
+    Frames are *queued* (as a capture front-end would) and issued to a
+    detector as soon as it can accept one; completion interrupts trigger
+    the next issue.  Reconfiguration requests queue behind an in-flight
+    reconfiguration instead of faulting.
+    """
+
+    def __init__(self, soc: ZynqSoC, queue_depth: int = 3):
+        if queue_depth < 1:
+            raise SimulationError("queue depth must be >= 1")
+        self.soc = soc
+        self.queue_depth = queue_depth
+        self.stats = {"pedestrian": FirmwareStats(), "vehicle": FirmwareStats()}
+        self._queues: dict[str, deque] = {"pedestrian": deque(), "vehicle": deque()}
+        self._state = {"pedestrian": StreamState.IDLE, "vehicle": StreamState.IDLE}
+        self._pending_reconfigs: deque[str] = deque()
+        self._reconfiguring = False
+        # ISR wiring: result-DMA done -> issue next frame; errors -> reset.
+        soc.interrupts.connect(soc.ped_out_dma.irq_line, lambda _l: self._on_frame_done("pedestrian"))
+        soc.interrupts.connect(soc.veh_out_dma.irq_line, lambda _l: self._on_frame_done("vehicle"))
+        for dma in (soc.ped_in_dma, soc.ped_out_dma, soc.veh_in_dma, soc.veh_out_dma):
+            soc.interrupts.connect(dma.error_line, self._on_dma_error)
+        soc.interrupts.connect(soc.pr.irq_line, lambda _l: self._on_reconfig_done())
+
+    # Frame path ----------------------------------------------------------
+
+    def queue_frame(self, which: str, frame_bytes: int = FRAME_BYTES) -> bool:
+        """Enqueue a captured frame; returns False when the queue is full."""
+        stats = self.stats[which]
+        queue = self._queues[which]
+        if len(queue) >= self.queue_depth:
+            stats.frames_rejected += 1
+            return False
+        queue.append(frame_bytes)
+        stats.frames_queued += 1
+        self._pump(which)
+        return True
+
+    def _pump(self, which: str) -> None:
+        if self._state[which] is not StreamState.IDLE:
+            return
+        queue = self._queues[which]
+        if not queue:
+            return
+        frame_bytes = queue[0]
+        accepted = self.soc.submit_frame(which, frame_bytes=frame_bytes)
+        if not accepted:
+            # Partition down (reconfiguring): drop this frame, keep draining.
+            queue.popleft()
+            self.stats[which].frames_rejected += 1
+            if queue:
+                self.soc.sim.schedule(1e-6, lambda: self._pump(which))
+            return
+        queue.popleft()
+        self._state[which] = StreamState.STREAMING
+        self.stats[which].frames_started += 1
+
+    def _on_frame_done(self, which: str) -> None:
+        self.stats[which].frames_completed += 1
+        self._state[which] = StreamState.IDLE
+        self._pump(which)
+
+    def _on_dma_error(self, line: str) -> None:
+        which = "pedestrian" if "ped" in line else "vehicle"
+        self.stats[which].dma_errors += 1
+        # Reset the faulted engine and resume the stream.
+        for dma in (
+            self.soc.ped_in_dma,
+            self.soc.ped_out_dma,
+            self.soc.veh_in_dma,
+            self.soc.veh_out_dma,
+        ):
+            if dma.error_line == line:
+                dma.reset()
+        self._state[which] = StreamState.IDLE
+        self._pump(which)
+
+    # Reconfiguration path ---------------------------------------------------
+
+    def request_reconfiguration(self, configuration: str) -> None:
+        """Queue a vehicle-partition reconfiguration (serialised)."""
+        stats = self.stats["vehicle"]
+        stats.reconfigs_requested += 1
+        if self._reconfiguring:
+            stats.reconfigs_deferred += 1
+            self._pending_reconfigs.append(configuration)
+            return
+        self._start_reconfig(configuration)
+
+    def _start_reconfig(self, configuration: str) -> None:
+        self._reconfiguring = True
+        self.soc.reconfigure_vehicle(configuration)
+
+    def _on_reconfig_done(self) -> None:
+        self.stats["vehicle"].reconfigs_completed += 1
+        self._reconfiguring = False
+        if self._pending_reconfigs:
+            nxt = self._pending_reconfigs.popleft()
+            self.soc.sim.schedule(1e-6, lambda: self._start_reconfig(nxt))
+        # The vehicle stream may have frames waiting.
+        self._pump("vehicle")

@@ -1,0 +1,69 @@
+"""PL-to-PS interrupt controller model.
+
+Fig. 6: "DMA cores and detection modules generate interrupt requests and
+inform PS of their completed assigned task."  The controller latches lines,
+dispatches registered handlers, and counts deliveries for the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.zynq.events import Simulator
+
+# Interrupt latency: PL->GIC->ISR entry, a few hundred ns on a Zynq.
+DEFAULT_IRQ_LATENCY_S = 500e-9
+
+
+@dataclass
+class InterruptLine:
+    """One named PL-to-PS interrupt line."""
+
+    name: str
+    pending: bool = False
+    count: int = 0
+    handlers: list[Callable[[str], None]] = field(default_factory=list)
+
+
+class InterruptController:
+    """Latching interrupt controller with per-line handlers."""
+
+    def __init__(self, sim: Simulator, latency_s: float = DEFAULT_IRQ_LATENCY_S):
+        if latency_s < 0:
+            raise SimulationError("interrupt latency must be >= 0")
+        self.sim = sim
+        self.latency_s = latency_s
+        self._lines: dict[str, InterruptLine] = {}
+
+    def register(self, name: str) -> InterruptLine:
+        """Create (or return) a line."""
+        if name not in self._lines:
+            self._lines[name] = InterruptLine(name=name)
+        return self._lines[name]
+
+    def connect(self, name: str, handler: Callable[[str], None]) -> None:
+        """Attach a handler; called with the line name on each delivery."""
+        self.register(name).handlers.append(handler)
+
+    def raise_irq(self, name: str) -> None:
+        """Assert a line; handlers run after the controller latency."""
+        line = self.register(name)
+        line.pending = True
+
+        def deliver() -> None:
+            if not line.pending:
+                return
+            line.pending = False
+            line.count += 1
+            for handler in list(line.handlers):
+                handler(name)
+
+        self.sim.schedule(self.latency_s, deliver)
+
+    def pending_lines(self) -> list[str]:
+        return sorted(n for n, l in self._lines.items() if l.pending)
+
+    def count(self, name: str) -> int:
+        return self.register(name).count

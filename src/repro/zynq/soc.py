@@ -1,0 +1,223 @@
+"""The Fig. 6 system: PS + PL, HP/GP ports, DMAs, detectors, PR controller.
+
+Builds the paper's block diagram in the discrete-event simulator:
+
+* pedestrian detection (static partition) fed by an AXI DMA pair on HP0;
+* vehicle detection (reconfigurable partition) fed by DMA pairs on HP1/HP2;
+* a PR controller (the paper's PL-DDR one by default, or any of the
+  comparison controllers) driving the vehicle partition's bitstreams;
+* an interrupt controller collecting the done/error lines.
+
+Frames are modelled as byte payloads (HDTV YCbCr 4:2:2 = ~4.15 MB) moving
+through shared :class:`BusLink` s, so port contention — the reason the
+paper keeps reconfiguration traffic off the HP ports — falls out of the
+queueing rather than being asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ReconfigurationError, SimulationError
+from repro.hw.timing import HDTV_TIMING, VideoTiming
+from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
+from repro.zynq.bus import HP_PORT_VIDEO, BusLink, LinkSpec
+from repro.zynq.dma import DmaDescriptor, DmaEngine
+from repro.zynq.events import Simulator, Trace
+from repro.zynq.interrupts import InterruptController
+from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
+
+# HDTV frame payload: 1920 x 1080 x 2 B (YCbCr 4:2:2).
+FRAME_BYTES = HDTV_TIMING.width * HDTV_TIMING.height * 2
+# Detection result payload: a few hundred boxes worth of records.
+RESULT_BYTES = 4 * 1024
+
+
+@dataclass
+class HwDetector:
+    """A detection accelerator as seen by the system: a frame-rate sink.
+
+    Attributes:
+        name: "pedestrian" or "vehicle".
+        processing_time_s: Frame latency of the accelerator pipeline.
+        available: False while its partition is being reconfigured.
+        configuration: Active configuration name (vehicle partition only).
+    """
+
+    name: str
+    processing_time_s: float
+    available: bool = True
+    configuration: str | None = None
+    frames_processed: int = 0
+    frames_dropped: int = 0
+    busy: bool = False
+
+
+class ZynqSoC:
+    """The paper's implemented system (Fig. 6) in the event simulator."""
+
+    def __init__(
+        self,
+        controller_cls: type[BasePrController] = PaperPrController,
+        repository: BitstreamRepository | None = None,
+        vehicle_processing_s: float = 0.0198,
+        pedestrian_processing_s: float = 0.0198,
+        timing: VideoTiming = HDTV_TIMING,
+    ):
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.interrupts = InterruptController(self.sim)
+        self.timing = timing
+        self.repository = repository or paper_bitstreams()
+
+        # HP-port links (shared, FIFO-arbitrated).
+        self.hp0 = BusLink(self.sim, LinkSpec(**{**HP_PORT_VIDEO.__dict__, "name": "hp0"}))
+        self.hp1 = BusLink(self.sim, LinkSpec(**{**HP_PORT_VIDEO.__dict__, "name": "hp1"}))
+        self.hp2 = BusLink(self.sim, LinkSpec(**{**HP_PORT_VIDEO.__dict__, "name": "hp2"}))
+
+        # DMA engines, as in Fig. 6 (MM2S feeds a detector, S2MM returns results).
+        self.ped_in_dma = DmaEngine("dma-ped-mm2s", self.sim, self.hp0, self.interrupts, self.trace)
+        self.ped_out_dma = DmaEngine("dma-ped-s2mm", self.sim, self.hp0, self.interrupts, self.trace)
+        self.veh_in_dma = DmaEngine("dma-veh-mm2s", self.sim, self.hp1, self.interrupts, self.trace)
+        self.veh_out_dma = DmaEngine("dma-veh-s2mm", self.sim, self.hp2, self.interrupts, self.trace)
+
+        # Detectors.
+        self.pedestrian = HwDetector("pedestrian", processing_time_s=pedestrian_processing_s)
+        self.vehicle = HwDetector(
+            "vehicle", processing_time_s=vehicle_processing_s, configuration="day_dusk"
+        )
+
+        # PR controller for the vehicle partition.
+        self.pr = controller_cls(self.sim, self.interrupts, self.repository, self.trace)
+        self.pr.active_configuration = self.vehicle.configuration
+        self.reconfigurations: list[ReconfigReport] = []
+
+    # Frame processing -------------------------------------------------------
+
+    def _detector_and_dmas(self, which: str) -> tuple[HwDetector, DmaEngine, DmaEngine]:
+        if which == "pedestrian":
+            return self.pedestrian, self.ped_in_dma, self.ped_out_dma
+        if which == "vehicle":
+            return self.vehicle, self.veh_in_dma, self.veh_out_dma
+        raise SimulationError(f"unknown detector {which!r}")
+
+    def submit_frame(
+        self,
+        which: str,
+        on_result: Callable[[], None] | None = None,
+        frame_bytes: int = FRAME_BYTES,
+    ) -> bool:
+        """Push one frame at a detector; returns False when it is dropped.
+
+        A frame is dropped when the detector's partition is reconfiguring,
+        or when the previous frame's *input transfer* has not finished (the
+        accelerators are streaming pipelines, so processing of frame N
+        overlaps the input of frame N+1; only the ingress DMA serialises).
+        """
+        detector, in_dma, out_dma = self._detector_and_dmas(which)
+        if not detector.available or detector.busy:
+            detector.frames_dropped += 1
+            self.trace.log(self.sim.now, detector.name, "frame dropped")
+            return False
+        detector.busy = True
+
+        def after_input() -> None:
+            detector.busy = False
+            self.sim.schedule(detector.processing_time_s, after_processing)
+
+        def after_processing() -> None:
+            out_dma.start(DmaDescriptor(RESULT_BYTES, label=f"{which}-result"), on_done=finish)
+
+        def finish() -> None:
+            detector.frames_processed += 1
+            if on_result is not None:
+                on_result()
+
+        def input_failed() -> None:
+            # The ingress DMA aborted: free the detector so the stream can
+            # resume once the driver resets the engine.
+            detector.busy = False
+            detector.frames_dropped += 1
+
+        in_dma.start(
+            DmaDescriptor(frame_bytes, label=f"{which}-frame"),
+            on_done=after_input,
+            on_error=input_failed,
+        )
+        return True
+
+    # Reconfiguration ---------------------------------------------------------
+
+    def reconfigure_vehicle(
+        self,
+        configuration: str,
+        on_done: Callable[[ReconfigReport], None] | None = None,
+    ) -> ReconfigReport:
+        """Load a vehicle-partition bitstream through the PR controller.
+
+        The vehicle detector drops frames for the duration; the pedestrian
+        detector is untouched unless the controller's data path occupies a
+        shared HP port (ZyCAP), in which case its frame traffic queues.
+        """
+        if not self.vehicle.available:
+            raise ReconfigurationError("vehicle partition is already reconfiguring")
+        self.vehicle.available = False
+        self.trace.log(self.sim.now, "soc", f"vehicle partition down for PR -> {configuration}")
+
+        if self.pr.occupies_hp_port():
+            # ZyCAP-style: the bitstream pull occupies HP0 alongside the
+            # pedestrian DMA traffic for the whole transfer.
+            duration = self.pr.transfer_time(self.repository.get(configuration).size_bytes)
+            equivalent_bytes = int(duration * self.hp0.spec.effective_bandwidth())
+            self.hp0.request(equivalent_bytes, on_done=lambda: None, label="zycap-bitstream")
+
+        def finished(report: ReconfigReport) -> None:
+            self.vehicle.available = True
+            self.vehicle.configuration = configuration
+            self.reconfigurations.append(report)
+            self.trace.log(self.sim.now, "soc", f"vehicle partition up ({configuration})")
+            if on_done is not None:
+                on_done(report)
+
+        return self.pr.reconfigure(configuration, on_done=finished)
+
+    def swap_vehicle_model(self, model_name: str) -> None:
+        """Day<->dusk: select the other BRAM-resident SVM model (no PR)."""
+        if not self.vehicle.available:
+            raise ReconfigurationError("cannot swap models during reconfiguration")
+        self.trace.log(self.sim.now, "soc", f"vehicle model swap -> {model_name}")
+
+    # Reporting ----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "time_s": self.sim.now,
+            "pedestrian": {
+                "processed": self.pedestrian.frames_processed,
+                "dropped": self.pedestrian.frames_dropped,
+            },
+            "vehicle": {
+                "processed": self.vehicle.frames_processed,
+                "dropped": self.vehicle.frames_dropped,
+                "configuration": self.vehicle.configuration,
+            },
+            "reconfigurations": [
+                {
+                    "bitstream": r.bitstream,
+                    "duration_ms": r.duration_s * 1e3,
+                    "throughput_mb_s": r.throughput_mb_s,
+                }
+                for r in self.reconfigurations
+            ],
+            "interrupts": {
+                name: self.interrupts.count(name)
+                for name in (
+                    self.ped_in_dma.irq_line,
+                    self.ped_out_dma.irq_line,
+                    self.veh_in_dma.irq_line,
+                    self.veh_out_dma.irq_line,
+                    self.pr.irq_line,
+                )
+            },
+        }

@@ -1,0 +1,124 @@
+"""Tests for repro.adaptive.controller: hysteresis + dwell behavior."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adaptive.controller import ControllerConfig, LightingController, NaiveController
+from repro.adaptive.sensor import LightSensor, LuxTrace
+from repro.datasets.lighting import LightingCondition
+from repro.errors import ConfigurationError
+
+
+def make_controller(**kwargs) -> LightingController:
+    defaults = dict(hysteresis=0.3, min_dwell_s=2.0)
+    defaults.update(kwargs)
+    return LightingController(ControllerConfig(**defaults))
+
+
+class TestConfig:
+    def test_rejects_inverted_boundaries(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(day_dusk_lux=1.0, dusk_dark_lux=5.0)
+
+    def test_rejects_negative_hysteresis(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(hysteresis=-0.1)
+
+
+class TestTransitions:
+    def test_day_to_dusk_requires_margin(self):
+        ctl = make_controller()
+        # Just below the boundary: inside the hysteresis band, no switch.
+        assert ctl.update(0.0, 900.0) is None
+        assert ctl.condition is LightingCondition.DAY
+        # Well below the band: switch.
+        change = ctl.update(10.0, 500.0)
+        assert change is not None
+        assert change.new is LightingCondition.DUSK
+
+    def test_dusk_to_day_requires_margin(self):
+        ctl = make_controller()
+        ctl.condition = LightingCondition.DUSK
+        assert ctl.update(0.0, 1100.0) is None  # inside band (<= 1300)
+        change = ctl.update(10.0, 2000.0)
+        assert change.new is LightingCondition.DAY
+
+    def test_dusk_to_dark(self):
+        ctl = make_controller()
+        ctl.condition = LightingCondition.DUSK
+        change = ctl.update(0.0, 2.0)
+        assert change.new is LightingCondition.DARK
+
+    def test_multi_step_jump_goes_one_condition_per_update(self):
+        ctl = make_controller(min_dwell_s=0.0)
+        # Driving into an unlit garage: day -> (dusk) -> dark.
+        first = ctl.update(0.0, 0.5)
+        assert first.new is LightingCondition.DUSK
+        second = ctl.update(0.1, 0.5)
+        assert second.new is LightingCondition.DARK
+
+    def test_dwell_time_blocks_rapid_switching(self):
+        ctl = make_controller(min_dwell_s=5.0)
+        assert ctl.update(0.0, 100.0).new is LightingCondition.DUSK
+        # Another legitimate switch request arrives too soon.
+        assert ctl.update(1.0, 0.5) is None
+        assert ctl.update(6.0, 0.5).new is LightingCondition.DARK
+
+    def test_history_recorded(self):
+        ctl = make_controller(min_dwell_s=0.0)
+        ctl.update(0.0, 100.0)
+        ctl.update(1.0, 0.5)
+        assert len(ctl.history) == 2
+        assert ctl.history[0].previous is LightingCondition.DAY
+
+    def test_rejects_negative_lux(self):
+        with pytest.raises(ConfigurationError):
+            make_controller().update(0.0, -1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=3.9, max_value=6.4), min_size=5, max_size=40))
+    def test_no_oscillation_inside_band(self, lux_values):
+        """Lux wandering strictly inside the dusk/dark hysteresis band
+        (5/1.3 = 3.85 .. 5*1.3 = 6.5) never toggles a dusk-initialised
+        controller."""
+        ctl = LightingController(
+            ControllerConfig(hysteresis=0.3, min_dwell_s=0.0),
+            initial=LightingCondition.DUSK,
+        )
+        for i, lux in enumerate(lux_values):
+            ctl.update(float(i), lux)
+        assert ctl.history == []
+
+
+class TestRunTrace:
+    def test_sunset_produces_ordered_transitions(self):
+        from repro.adaptive.sensor import sunset_trace
+
+        ctl = make_controller()
+        sensor = LightSensor(sunset_trace(120.0), noise_rel=0.02, seed=1)
+        changes = ctl.run_trace(sensor, 0.5, 120.0)
+        sequence = [c.new for c in changes]
+        assert sequence == [LightingCondition.DUSK, LightingCondition.DARK]
+
+    def test_rejects_bad_period(self):
+        ctl = make_controller()
+        sensor = LightSensor(LuxTrace(points=((0.0, 10.0),)))
+        with pytest.raises(ConfigurationError):
+            ctl.run_trace(sensor, 0.0, 10.0)
+
+
+class TestNaive:
+    def test_naive_has_no_hysteresis(self):
+        ctl = NaiveController(initial=LightingCondition.DUSK)
+        assert ctl.config.hysteresis == 0.0
+        assert ctl.config.min_dwell_s == 0.0
+
+    def test_naive_toggles_on_boundary_noise(self):
+        ctl = NaiveController(initial=LightingCondition.DUSK)
+        switches = 0
+        for i, lux in enumerate([4.0, 6.0] * 10):
+            if ctl.update(float(i), lux) is not None:
+                switches += 1
+        assert switches >= 10

@@ -1,0 +1,54 @@
+"""Tests for repro.adaptive.policy: switch planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.policy import (
+    CONFIG_FOR_CONDITION,
+    SwitchKind,
+    VehicleConfigurationId,
+    plan_switch,
+)
+from repro.datasets.lighting import LightingCondition
+
+
+class TestMapping:
+    def test_day_and_dusk_share_configuration(self):
+        # "Two different partial configurations are generated ... one for
+        # the day and dusk, and the other one for the dark condition."
+        assert (
+            CONFIG_FOR_CONDITION[LightingCondition.DAY]
+            is CONFIG_FOR_CONDITION[LightingCondition.DUSK]
+            is VehicleConfigurationId.DAY_DUSK
+        )
+        assert CONFIG_FOR_CONDITION[LightingCondition.DARK] is VehicleConfigurationId.DARK
+
+
+class TestPlanning:
+    def test_same_condition_noop(self):
+        plan = plan_switch(LightingCondition.DAY, LightingCondition.DAY)
+        assert plan.kind is SwitchKind.NONE
+
+    def test_day_dusk_is_model_swap(self):
+        plan = plan_switch(LightingCondition.DAY, LightingCondition.DUSK)
+        assert plan.kind is SwitchKind.MODEL_SWAP
+        assert plan.target_configuration is VehicleConfigurationId.DAY_DUSK
+
+    def test_dusk_day_is_model_swap(self):
+        plan = plan_switch(LightingCondition.DUSK, LightingCondition.DAY)
+        assert plan.kind is SwitchKind.MODEL_SWAP
+
+    @pytest.mark.parametrize(
+        "src",
+        [LightingCondition.DAY, LightingCondition.DUSK],
+    )
+    def test_entering_dark_requires_pr(self, src):
+        plan = plan_switch(src, LightingCondition.DARK)
+        assert plan.kind is SwitchKind.PARTIAL_RECONFIG
+        assert plan.target_configuration is VehicleConfigurationId.DARK
+
+    def test_leaving_dark_requires_pr(self):
+        plan = plan_switch(LightingCondition.DARK, LightingCondition.DUSK)
+        assert plan.kind is SwitchKind.PARTIAL_RECONFIG
+        assert plan.target_configuration is VehicleConfigurationId.DAY_DUSK

@@ -1,0 +1,97 @@
+"""Tests for repro.adaptive.sensor: traces and the sensor model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.sensor import (
+    LightSensor,
+    LuxTrace,
+    flicker_trace,
+    sunset_trace,
+    tunnel_trace,
+    urban_evening_trace,
+)
+from repro.datasets.lighting import LightingCondition, condition_for_lux
+from repro.errors import ConfigurationError
+
+
+class TestLuxTrace:
+    def test_interpolation_log_space(self):
+        trace = LuxTrace(points=((0.0, 100.0), (10.0, 1.0)))
+        mid = trace.lux_at(5.0)
+        assert mid == pytest.approx(10.0)  # geometric mean, not 50.5
+
+    def test_clamped_outside(self):
+        trace = LuxTrace(points=((1.0, 10.0), (2.0, 100.0)))
+        assert trace.lux_at(0.0) == 10.0
+        assert trace.lux_at(5.0) == 100.0
+
+    def test_rejects_unordered_times(self):
+        with pytest.raises(ConfigurationError):
+            LuxTrace(points=((1.0, 10.0), (1.0, 20.0)))
+
+    def test_rejects_non_positive_lux(self):
+        with pytest.raises(ConfigurationError):
+            LuxTrace(points=((0.0, 0.0),))
+
+
+class TestStandardTraces:
+    def test_sunset_ends_dark(self):
+        trace = sunset_trace(duration_s=100.0)
+        assert condition_for_lux(trace.lux_at(0.0)) is LightingCondition.DAY
+        assert condition_for_lux(trace.lux_at(100.0)) is LightingCondition.DARK
+
+    def test_tunnel_is_dusk_inside(self):
+        trace = tunnel_trace(duration_s=100.0)
+        assert condition_for_lux(trace.lux_at(50.0)) is LightingCondition.DUSK
+        assert condition_for_lux(trace.lux_at(0.0)) is LightingCondition.DAY
+        assert condition_for_lux(trace.lux_at(100.0)) is LightingCondition.DAY
+
+    def test_tunnel_never_dark(self):
+        # The paper's point: tunnels are handled by day<->dusk, no PR.
+        trace = tunnel_trace(duration_s=100.0)
+        for i in range(101):
+            assert condition_for_lux(trace.lux_at(float(i))) is not LightingCondition.DARK
+
+    def test_urban_evening_crosses_dark_boundary(self):
+        trace = urban_evening_trace(duration_s=100.0)
+        conditions = {condition_for_lux(trace.lux_at(t * 1.0)) for t in range(101)}
+        assert LightingCondition.DARK in conditions
+        assert LightingCondition.DUSK in conditions
+
+    def test_flicker_oscillates(self):
+        trace = flicker_trace(duration_s=20.0)
+        values = [trace.lux_at(t * 0.5) for t in range(40)]
+        assert max(values) > min(values)
+
+
+class TestSensor:
+    def test_noiseless_sensor_reads_truth(self):
+        trace = LuxTrace(points=((0.0, 50.0),))
+        sensor = LightSensor(trace, noise_rel=0.0)
+        assert sensor.read(0.0) == pytest.approx(50.0)
+
+    def test_noise_is_multiplicative(self):
+        trace = LuxTrace(points=((0.0, 100.0),))
+        sensor = LightSensor(trace, noise_rel=0.1, seed=1)
+        readings = [sensor.read(0.0) for _ in range(200)]
+        assert 80.0 < sum(readings) / len(readings) < 125.0
+        assert min(readings) > 0.0
+
+    def test_dropout_returns_last(self):
+        trace = LuxTrace(points=((0.0, 10.0), (10.0, 1000.0)))
+        sensor = LightSensor(trace, noise_rel=0.0, dropout_probability=0.999999, seed=2)
+        first = sensor.read(0.0)
+        held = sensor.read(9.0)
+        assert held == pytest.approx(first)
+
+    def test_rejects_bad_dropout(self):
+        with pytest.raises(ConfigurationError):
+            LightSensor(LuxTrace(points=((0.0, 1.0),)), dropout_probability=1.0)
+
+    def test_deterministic_with_seed(self):
+        trace = sunset_trace(100.0)
+        a = LightSensor(trace, seed=3)
+        b = LightSensor(trace, seed=3)
+        assert [a.read(t) for t in range(10)] == [b.read(t) for t in range(10)]

@@ -1,0 +1,124 @@
+"""Tests for repro.core.functional: the algorithmic adaptive detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.functional import AdaptiveVehicleDetector, FunctionalConfig
+from repro.datasets.lighting import (
+    DARK_LIGHTING,
+    DAY_LIGHTING,
+    LightingCondition,
+    lighting_for_condition,
+)
+from repro.datasets.scene import SceneConfig, render_scene
+from repro.errors import ConfigurationError, PipelineError
+from repro.pipelines.dark import DarkVehicleDetector
+
+
+@pytest.fixture(scope="module")
+def adaptive(condition_models, dark_detector):
+    return AdaptiveVehicleDetector(condition_models, dark_detector)
+
+
+def _frame(condition: LightingCondition, seed: int = 5):
+    config = SceneConfig(
+        height=120, width=210, n_vehicles=1, vehicle_fill=(0.1, 0.16), seed=seed
+    )
+    return render_scene(config, lighting_for_condition(condition))
+
+
+class TestConstruction:
+    def test_requires_day_and_dusk_models(self, condition_models, dark_detector):
+        with pytest.raises(ConfigurationError):
+            AdaptiveVehicleDetector({"day": condition_models["day"]}, dark_detector)
+
+    def test_requires_trained_dark(self, condition_models):
+        with pytest.raises(PipelineError):
+            AdaptiveVehicleDetector(condition_models, DarkVehicleDetector())
+
+    def test_rejects_negative_reconfig_window(self):
+        with pytest.raises(ConfigurationError):
+            FunctionalConfig(reconfiguration_s=-1.0)
+
+
+class TestRouting:
+    def test_day_routes_to_hog(self, adaptive):
+        result = adaptive.process(0.0, 30000.0, _frame(LightingCondition.DAY).rgb)
+        assert result.condition is LightingCondition.DAY
+        assert "day-dusk" in result.active_pipeline
+
+    def test_dark_routes_to_dbn_pipeline(self, condition_models, dark_detector):
+        detector = AdaptiveVehicleDetector(
+            condition_models, dark_detector, initial=LightingCondition.DUSK
+        )
+        # Darkness arrives; after the blind window the dark pipeline runs.
+        detector.process(0.0, 1.0, _frame(LightingCondition.DARK).rgb)
+        result = detector.process(1.0, 1.0, _frame(LightingCondition.DARK).rgb)
+        assert result.condition is LightingCondition.DARK
+        assert result.active_pipeline == "vehicle-dark"
+
+    def test_pipeline_for_condition(self, adaptive, dark_detector):
+        assert adaptive.pipeline_for(LightingCondition.DARK) is dark_detector
+        assert adaptive.pipeline_for(LightingCondition.DAY).model.meta["name"] == "day"
+        assert adaptive.pipeline_for(LightingCondition.DUSK).model.meta["name"] == "dusk"
+
+    def test_configuration_mapping(self, adaptive):
+        from repro.adaptive.policy import VehicleConfigurationId
+
+        assert (
+            adaptive.configuration_for(LightingCondition.DAY)
+            is VehicleConfigurationId.DAY_DUSK
+        )
+        assert (
+            adaptive.configuration_for(LightingCondition.DARK)
+            is VehicleConfigurationId.DARK
+        )
+
+
+class TestSwitching:
+    def test_dusk_to_dark_has_blind_window(self, condition_models, dark_detector):
+        detector = AdaptiveVehicleDetector(
+            condition_models,
+            dark_detector,
+            config=FunctionalConfig(reconfiguration_s=0.5),
+            initial=LightingCondition.DUSK,
+        )
+        dark_rgb = _frame(LightingCondition.DARK).rgb
+        first = detector.process(10.0, 1.0, dark_rgb)  # triggers PR
+        assert first.reconfiguring
+        assert first.detections == []
+        later = detector.process(10.6, 1.0, dark_rgb)  # window elapsed
+        assert not later.reconfiguring
+
+    def test_day_dusk_swap_is_free(self, condition_models, dark_detector):
+        detector = AdaptiveVehicleDetector(
+            condition_models, dark_detector, initial=LightingCondition.DAY
+        )
+        dusk_rgb = _frame(LightingCondition.DUSK).rgb
+        result = detector.process(5.0, 100.0, dusk_rgb)  # day -> dusk
+        assert result.condition is LightingCondition.DUSK
+        assert not result.reconfiguring
+
+    def test_results_history_accumulates(self, condition_models, dark_detector):
+        detector = AdaptiveVehicleDetector(condition_models, dark_detector)
+        rgb = _frame(LightingCondition.DAY).rgb
+        for i in range(3):
+            detector.process(float(i), 30000.0, rgb)
+        assert len(detector.results) == 3
+
+
+class TestEndToEnd:
+    def test_dark_frame_detected_by_routed_pipeline(self, condition_models, dark_detector):
+        detector = AdaptiveVehicleDetector(
+            condition_models, dark_detector, initial=LightingCondition.DARK
+        )
+        frame = render_scene(
+            SceneConfig(height=180, width=330, n_vehicles=1, vehicle_fill=(0.1, 0.16), seed=9),
+            DARK_LIGHTING,
+        )
+        result = detector.process(0.0, 1.0, frame.rgb)
+        assert result.condition is LightingCondition.DARK
+        assert result.detections
+        assert any(d.rect.iou(frame.vehicle_boxes[0]) > 0.2 for d in result.detections)

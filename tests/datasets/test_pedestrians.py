@@ -1,0 +1,64 @@
+"""Tests for repro.datasets.pedestrians."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.pedestrians import (
+    PedestrianSpec,
+    random_pedestrian_spec,
+    render_pedestrian,
+)
+from repro.errors import DatasetError
+
+
+class TestSpec:
+    def test_width_proportional(self):
+        spec = PedestrianSpec(height=50, torso_tone=0.3, legs_tone=0.2)
+        assert spec.width == 21
+
+    def test_rejects_tiny(self):
+        with pytest.raises(DatasetError):
+            PedestrianSpec(height=8, torso_tone=0.3, legs_tone=0.2)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(DatasetError):
+            PedestrianSpec(height=40, torso_tone=0.3, legs_tone=0.2, stride=1.5)
+
+    def test_random_spec_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            spec = random_pedestrian_spec(rng, 48)
+            assert 0.1 <= spec.stride <= 0.9
+
+
+class TestRender:
+    def test_shapes(self):
+        rng = np.random.default_rng(1)
+        sprite = render_pedestrian(PedestrianSpec(48, 0.3, 0.2), rng)
+        assert sprite.rgb.shape == (48, 20, 3)
+        assert sprite.alpha.shape == (48, 20)
+
+    def test_head_torso_legs_present(self):
+        rng = np.random.default_rng(2)
+        sprite = render_pedestrian(PedestrianSpec(60, 0.4, 0.3), rng)
+        alpha = sprite.alpha
+        # Head region, torso region and leg region all have coverage.
+        assert alpha[: 60 // 6].sum() > 0
+        assert alpha[60 // 3 : 60 // 2].sum() > 0
+        assert alpha[-60 // 5 :].sum() > 0
+
+    def test_vertical_silhouette(self):
+        # A pedestrian is taller than wide — the HOG cue the static
+        # partition's detector uses.
+        rng = np.random.default_rng(3)
+        sprite = render_pedestrian(PedestrianSpec(64, 0.5, 0.4), rng)
+        ys, xs = np.nonzero(sprite.alpha > 0)
+        assert (ys.max() - ys.min()) > 1.5 * (xs.max() - xs.min())
+
+    def test_gait_changes_silhouette(self):
+        rng = np.random.default_rng(4)
+        narrow = render_pedestrian(PedestrianSpec(48, 0.3, 0.3, stride=0.0), rng)
+        wide = render_pedestrian(PedestrianSpec(48, 0.3, 0.3, stride=1.0), rng)
+        assert not np.array_equal(narrow.alpha, wide.alpha)

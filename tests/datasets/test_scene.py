@@ -1,0 +1,148 @@
+"""Tests for repro.datasets.scene: frames, crops, sensor model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.lighting import (
+    DARK_LIGHTING,
+    DAY_LIGHTING,
+    DUSK_LIGHTING,
+    LightingCondition,
+)
+from repro.datasets.scene import (
+    SceneConfig,
+    apply_sensor_model,
+    render_background,
+    render_condition_scene,
+    render_negative_crop,
+    render_scene,
+    render_vehicle_crop,
+)
+from repro.errors import DatasetError
+from repro.imaging.color import luminance
+
+
+class TestSceneConfig:
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(height=10, width=10)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(n_vehicles=-1)
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(DatasetError):
+            SceneConfig(vehicle_fill=(0.4, 0.2))
+
+
+class TestRenderScene:
+    def test_frame_shape_and_range(self):
+        frame = render_condition_scene(LightingCondition.DAY, seed=1, height=120, width=160)
+        assert frame.rgb.shape == (120, 160, 3)
+        assert frame.rgb.min() >= 0.0 and frame.rgb.max() <= 1.0
+
+    def test_deterministic_by_seed(self):
+        a = render_condition_scene(LightingCondition.DUSK, seed=5, height=96, width=128)
+        b = render_condition_scene(LightingCondition.DUSK, seed=5, height=96, width=128)
+        assert np.array_equal(a.rgb, b.rgb)
+
+    def test_ground_truth_counts(self):
+        config = SceneConfig(height=160, width=240, n_vehicles=2, n_pedestrians=1, seed=3)
+        frame = render_scene(config, DAY_LIGHTING)
+        assert len(frame.vehicles) == 2
+        assert len(frame.pedestrians) == 1
+
+    def test_dark_vehicles_record_taillights(self):
+        config = SceneConfig(height=160, width=240, n_vehicles=1, seed=4)
+        frame = render_scene(config, DARK_LIGHTING)
+        assert len(frame.vehicles) == 1
+        assert len(frame.vehicles[0].taillights) == 2
+
+    def test_day_vehicles_record_no_taillights(self):
+        config = SceneConfig(height=160, width=240, n_vehicles=1, seed=4)
+        frame = render_scene(config, DAY_LIGHTING)
+        assert frame.vehicles[0].taillights == []
+
+    def test_boxes_inside_frame(self):
+        config = SceneConfig(height=160, width=240, n_vehicles=3, n_pedestrians=2, seed=6)
+        frame = render_scene(config, DUSK_LIGHTING)
+        for obj in frame.objects:
+            assert obj.rect.x >= 0 and obj.rect.y >= 0
+            assert obj.rect.x2 <= 240 and obj.rect.y2 <= 160
+
+    def test_dark_frame_is_darker_than_day(self):
+        day = render_condition_scene(LightingCondition.DAY, seed=7, height=96, width=128)
+        dark = render_condition_scene(LightingCondition.DARK, seed=7, height=96, width=128)
+        assert luminance(dark.rgb).mean() < luminance(day.rgb).mean() * 0.5
+
+    def test_oncoming_only_when_headlights_on(self):
+        config = SceneConfig(height=160, width=240, n_vehicles=0, n_oncoming=2, seed=8)
+        day = render_scene(config, DAY_LIGHTING)
+        dark = render_scene(config, DARK_LIGHTING)
+        assert not [o for o in day.objects if o.kind == "headlights"]
+        assert len([o for o in dark.objects if o.kind == "headlights"]) == 2
+
+
+class TestBackground:
+    def test_layers_shapes(self):
+        rng = np.random.default_rng(0)
+        refl, emis = render_background(80, 120, DUSK_LIGHTING, rng)
+        assert refl.shape == (80, 120, 3)
+        assert emis.shape == (80, 120, 3)
+
+    def test_street_lamps_only_at_dusk(self):
+        rng = np.random.default_rng(1)
+        _, emis_day = render_background(80, 120, DAY_LIGHTING, rng)
+        rng = np.random.default_rng(1)
+        _, emis_dusk = render_background(80, 120, DUSK_LIGHTING, rng)
+        assert emis_day.sum() == 0.0
+        assert emis_dusk.sum() > 0.0
+
+
+class TestCrops:
+    def test_vehicle_crop_shape(self):
+        rng = np.random.default_rng(2)
+        crop = render_vehicle_crop(DAY_LIGHTING, rng, size=64)
+        assert crop.shape == (64, 64, 3)
+
+    def test_vehicle_crop_rejects_small(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(DatasetError):
+            render_vehicle_crop(DAY_LIGHTING, rng, size=8)
+
+    def test_vehicle_crop_rejects_bad_fill(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(DatasetError):
+            render_vehicle_crop(DAY_LIGHTING, rng, size=64, fill_range=(0.9, 0.5))
+
+    def test_negative_crop_shape(self):
+        rng = np.random.default_rng(5)
+        crop = render_negative_crop(DUSK_LIGHTING, rng, size=64)
+        assert crop.shape == (64, 64, 3)
+
+    def test_positive_brighter_center_in_dark(self):
+        # A dark positive crop contains lit taillights; negatives need not.
+        rng = np.random.default_rng(6)
+        pos = [render_vehicle_crop(DARK_LIGHTING, rng, 64).max() for _ in range(5)]
+        assert min(pos) > 0.45
+
+
+class TestSensorModel:
+    def test_output_clipped(self):
+        rng = np.random.default_rng(7)
+        img = rng.random((16, 16, 3)) * 2.0 - 0.5
+        out = apply_sensor_model(img, DAY_LIGHTING, rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_blur_softens_edges(self):
+        rng = np.random.default_rng(8)
+        img = np.zeros((32, 32, 3))
+        img[:, 16:] = 1.0
+        sharp = apply_sensor_model(img, DAY_LIGHTING, np.random.default_rng(0))
+        soft = apply_sensor_model(img, DARK_LIGHTING, np.random.default_rng(0))
+        grad_sharp = np.abs(np.diff(sharp[16, :, 0])).max()
+        grad_soft = np.abs(np.diff(soft[16, :, 0])).max()
+        assert grad_soft < grad_sharp

@@ -1,0 +1,89 @@
+"""Tests for repro.datasets.sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.lighting import DARK_LIGHTING, DAY_LIGHTING
+from repro.datasets.scene import SceneConfig
+from repro.datasets.sequences import SequenceConfig, render_sequence, track_ground_truth
+from repro.errors import DatasetError
+
+
+def _sequence(n_frames=6, n_vehicles=2, lighting=DAY_LIGHTING, seed=3, **scene_kwargs):
+    config = SequenceConfig(
+        scene=SceneConfig(
+            height=120, width=210, n_vehicles=n_vehicles, seed=seed, **scene_kwargs
+        ),
+        n_frames=n_frames,
+    )
+    return render_sequence(config, lighting)
+
+
+class TestConfig:
+    def test_rejects_zero_frames(self):
+        with pytest.raises(DatasetError):
+            SequenceConfig(n_frames=0)
+
+    def test_rejects_bad_brake_probability(self):
+        with pytest.raises(DatasetError):
+            SequenceConfig(brake_probability=2.0)
+
+
+class TestSequenceRendering:
+    def test_frame_count_and_shapes(self):
+        frames = _sequence(n_frames=5)
+        assert len(frames) == 5
+        assert all(f.rgb.shape == (120, 210, 3) for f in frames)
+
+    def test_track_ids_persist(self):
+        frames = _sequence(n_frames=8)
+        tracks = track_ground_truth(frames)
+        # Each initial vehicle should persist across (almost) all frames.
+        longest = max(len(items) for items in tracks.values())
+        assert longest >= 6
+
+    def test_distinct_lanes_no_overlap(self):
+        frames = _sequence(n_frames=4, n_vehicles=3)
+        for frame in frames:
+            boxes = frame.vehicle_boxes
+            for i in range(len(boxes)):
+                for j in range(i + 1, len(boxes)):
+                    assert boxes[i].iou(boxes[j]) < 0.5
+
+    def test_motion_is_smooth(self):
+        frames = _sequence(n_frames=8)
+        tracks = track_ground_truth(frames)
+        for items in tracks.values():
+            if len(items) < 3:
+                continue
+            centers = [obj.rect.center for _, obj in items]
+            steps = [
+                np.hypot(b[0] - a[0], b[1] - a[1])
+                for a, b in zip(centers, centers[1:])
+            ]
+            # Per-frame drift stays small relative to the frame.
+            assert max(steps) < 20
+
+    def test_deterministic(self):
+        a = _sequence(n_frames=3, seed=9)
+        b = _sequence(n_frames=3, seed=9)
+        for fa, fb in zip(a, b):
+            assert np.array_equal(fa.rgb, fb.rgb)
+
+    def test_dark_sequence_has_taillights(self):
+        frames = _sequence(n_frames=3, lighting=DARK_LIGHTING, vehicle_fill=(0.1, 0.2))
+        for frame in frames:
+            for vehicle in frame.vehicles:
+                assert len(vehicle.taillights) == 2
+
+    def test_respawn_assigns_new_identity(self):
+        config = SequenceConfig(
+            scene=SceneConfig(height=120, width=210, n_vehicles=1, seed=11),
+            n_frames=60,
+            depth_rate_range=(0.02, 0.03),  # fast approach -> forced respawn
+        )
+        frames = render_sequence(config, DAY_LIGHTING)
+        ids = {o.track_id for f in frames for o in f.vehicles}
+        assert len(ids) >= 2

@@ -1,0 +1,126 @@
+"""Tests for repro.datasets.synthetic: corpus factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.lighting import LightingCondition
+from repro.datasets.synthetic import (
+    SYSU_TEST_NEG,
+    SYSU_TEST_POS,
+    SYSU_TEST_VERY_DARK_POS,
+    TAILLIGHT_CLASS_LARGE,
+    TAILLIGHT_CLASS_NONE,
+    TAILLIGHT_CLASS_SMALL,
+    UPM_TEST_NEG,
+    UPM_TEST_POS,
+    make_dark_crops,
+    make_iroads_like,
+    make_pedestrian_frames,
+    make_sysu_like,
+    make_taillight_windows,
+    make_upm_like,
+)
+from repro.errors import DatasetError
+from repro.imaging.color import luminance
+
+
+class TestPaperCounts:
+    def test_table1_test_set_sizes(self):
+        # Read off the paper's TP/TN/FP/FN columns.
+        assert UPM_TEST_POS == 200 and UPM_TEST_NEG == 25
+        assert SYSU_TEST_POS == 1063 and SYSU_TEST_NEG == 752
+        assert SYSU_TEST_VERY_DARK_POS == 100
+
+
+class TestUpmLike:
+    def test_counts_and_condition(self):
+        ds = make_upm_like(n_positive=10, n_negative=5, seed=1)
+        assert ds.n_positive == 10 and ds.n_negative == 5
+        assert ds.condition is LightingCondition.DAY
+        assert not ds.very_dark.any()
+
+    def test_deterministic(self):
+        a = make_upm_like(n_positive=4, n_negative=2, seed=9)
+        b = make_upm_like(n_positive=4, n_negative=2, seed=9)
+        assert np.array_equal(a.images, b.images)
+
+
+class TestSysuLike:
+    def test_very_dark_tail(self):
+        ds = make_sysu_like(n_positive=20, n_negative=10, n_very_dark_positive=5, seed=2)
+        assert ds.very_dark.sum() == 5
+        assert ds.labels[ds.very_dark].tolist() == [1] * 5
+
+    def test_subset_removes_dark(self):
+        ds = make_sysu_like(n_positive=20, n_negative=10, n_very_dark_positive=5, seed=3)
+        sub = ds.without_very_dark()
+        assert len(sub) == 25
+        assert sub.n_positive == 15
+
+    def test_rejects_excess_dark(self):
+        with pytest.raises(DatasetError):
+            make_sysu_like(n_positive=5, n_negative=5, n_very_dark_positive=6)
+
+    def test_very_dark_positives_are_darker(self):
+        ds = make_sysu_like(n_positive=30, n_negative=2, n_very_dark_positive=10, seed=4)
+        dark_mean = np.mean([luminance(im).mean() for im in ds.images[ds.very_dark]])
+        dusk_pos = ds.images[(ds.labels == 1) & ~ds.very_dark]
+        dusk_mean = np.mean([luminance(im).mean() for im in dusk_pos])
+        assert dark_mean < dusk_mean * 0.7
+
+    def test_t_range_controls_brightness(self):
+        bright = make_sysu_like(10, 2, 0, seed=5, lighting_t_range=(0.9, 1.0))
+        dark = make_sysu_like(10, 2, 0, seed=5, lighting_t_range=(0.1, 0.2))
+        mb = np.mean([luminance(im).mean() for im in bright.images[bright.labels == 1]])
+        md = np.mean([luminance(im).mean() for im in dark.images[dark.labels == 1]])
+        assert mb > md
+
+
+class TestDarkCrops:
+    def test_all_flagged_very_dark(self):
+        ds = make_dark_crops(n_positive=5, n_negative=5)
+        assert ds.very_dark.all()
+        assert ds.condition is LightingCondition.DARK
+
+
+class TestFrames:
+    def test_iroads_counts(self):
+        ds = make_iroads_like(n_frames=6, height=120, width=240, seed=6)
+        assert len(ds) == 6
+        assert ds.condition is LightingCondition.DARK
+
+    def test_iroads_vehicle_fraction(self):
+        ds = make_iroads_like(n_frames=30, height=120, width=240, with_vehicle_fraction=0.0, seed=7)
+        assert all(not f.vehicles for f in ds.frames)
+
+    def test_iroads_rejects_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            make_iroads_like(with_vehicle_fraction=1.5)
+
+    def test_pedestrian_frames_have_pedestrians(self):
+        ds = make_pedestrian_frames(n_frames=4, height=120, width=240, seed=8)
+        assert all(f.pedestrians for f in ds.frames)
+
+
+class TestTaillightWindows:
+    def test_shapes_and_labels(self):
+        x, y = make_taillight_windows(n_per_class=15, seed=9)
+        # Background is double-sampled (five pattern families).
+        assert x.shape == (75, 81)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+        assert np.bincount(y).tolist() == [30, 15, 15, 15]
+
+    def test_binary_values(self):
+        x, _ = make_taillight_windows(n_per_class=10, seed=10)
+        assert set(np.unique(x)).issubset({0.0, 1.0})
+
+    def test_size_classes_ordered_by_mass(self):
+        x, y = make_taillight_windows(n_per_class=60, seed=11)
+        mass = {c: x[y == c].sum(axis=1).mean() for c in (TAILLIGHT_CLASS_SMALL, TAILLIGHT_CLASS_LARGE)}
+        assert mass[TAILLIGHT_CLASS_LARGE] > mass[TAILLIGHT_CLASS_SMALL]
+
+    def test_rejects_zero_per_class(self):
+        with pytest.raises(DatasetError):
+            make_taillight_windows(n_per_class=0)

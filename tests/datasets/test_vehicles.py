@@ -1,0 +1,107 @@
+"""Tests for repro.datasets.vehicles: sprite rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.lighting import DARK_LIGHTING, DAY_LIGHTING, DUSK_LIGHTING
+from repro.datasets.vehicles import (
+    VehicleSpec,
+    random_vehicle_spec,
+    render_headlight_pair,
+    render_vehicle,
+)
+from repro.errors import DatasetError
+from repro.imaging.color import rgb_to_ycbcr
+
+
+class TestSpec:
+    def test_height_derived(self):
+        spec = VehicleSpec(width=40, color=(0.5, 0.5, 0.5))
+        assert spec.height == 34
+
+    def test_rejects_tiny(self):
+        with pytest.raises(DatasetError):
+            VehicleSpec(width=4, color=(0.5, 0.5, 0.5))
+
+    def test_rejects_bad_separation(self):
+        with pytest.raises(DatasetError):
+            VehicleSpec(width=40, color=(0.5, 0.5, 0.5), taillight_separation=0.1)
+
+    def test_random_spec_in_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            spec = random_vehicle_spec(rng, 48)
+            assert 0.60 <= spec.taillight_separation <= 0.78
+            assert all(0.0 <= c <= 1.0 for c in spec.color)
+
+
+class TestRender:
+    def test_layers_shapes_match(self):
+        rng = np.random.default_rng(1)
+        sprite = render_vehicle(VehicleSpec(40, (0.4, 0.4, 0.5)), DAY_LIGHTING, rng)
+        assert sprite.rgb.shape[2] == 3
+        assert sprite.rgb.shape[:2] == sprite.alpha.shape
+        assert sprite.emissive.shape == sprite.rgb.shape
+
+    def test_day_has_no_emission(self):
+        rng = np.random.default_rng(2)
+        sprite = render_vehicle(VehicleSpec(40, (0.4, 0.4, 0.5)), DAY_LIGHTING, rng)
+        assert sprite.emissive.sum() == 0.0
+        assert sprite.taillights == []
+
+    def test_dark_emits_two_red_taillights(self):
+        rng = np.random.default_rng(3)
+        sprite = render_vehicle(VehicleSpec(48, (0.2, 0.2, 0.2)), DARK_LIGHTING, rng)
+        assert len(sprite.taillights) == 2
+        (x1, y1), (x2, y2) = sprite.taillights
+        assert abs(y1 - y2) < 1e-9  # same height
+        assert abs(x2 - x1) > 10  # separated
+        # Emission is red-dominant.
+        assert sprite.emissive[..., 0].sum() > sprite.emissive[..., 2].sum()
+
+    def test_taillight_chroma_is_red(self):
+        rng = np.random.default_rng(4)
+        sprite = render_vehicle(VehicleSpec(48, (0.2, 0.2, 0.2)), DUSK_LIGHTING, rng)
+        lit = np.clip(sprite.rgb * 0.05 + sprite.emissive, 0, 1)
+        x, y = sprite.taillights[0]
+        cr = rgb_to_ycbcr(lit)[..., 2]
+        assert cr[int(y), int(x)] > 0.15
+
+    def test_alpha_covers_body(self):
+        rng = np.random.default_rng(5)
+        sprite = render_vehicle(VehicleSpec(40, (0.5, 0.5, 0.5)), DAY_LIGHTING, rng)
+        x, y, w, h = sprite.body_rect.as_int()
+        body_alpha = sprite.alpha[y + 2 : y + h - 2, x + 2 : x + w - 2]
+        assert body_alpha.mean() > 0.9
+
+    def test_unlit_lens_blends_with_body(self):
+        rng = np.random.default_rng(6)
+        spec = VehicleSpec(48, (0.3, 0.3, 0.35))
+        sprite = render_vehicle(spec, DAY_LIGHTING, rng)
+        # Unlit lens must not be a saturated red disk.
+        body = np.asarray(spec.color)
+        cx = sprite.body_rect.x + sprite.body_rect.w / 2.0
+        ty = sprite.body_rect.y + (sprite.body_rect.h * 0.18 / 0.72)
+        # Sample near where lenses are drawn; red excess should be small.
+        region = sprite.rgb[:, :, 0] - sprite.rgb[:, :, 1]
+        assert region.max() < 0.35
+
+
+class TestHeadlights:
+    def test_pair_is_white(self):
+        patch = render_headlight_pair(40, 80, 40, 20, 20, 3, 0.9, 1.0)
+        cr = rgb_to_ycbcr(patch)[..., 2]
+        assert cr.max() < 0.1
+
+    def test_two_peaks(self):
+        patch = render_headlight_pair(40, 80, 40, 20, 30, 2, 1.0, 1.0)
+        row = patch[20, :, 0]
+        left = row[:40].argmax()
+        right = 40 + row[40:].argmax()
+        assert abs((right - left) - 30) <= 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DatasetError):
+            render_headlight_pair(10, 10, 5, 5, -1, 2, 1.0, 1.0)

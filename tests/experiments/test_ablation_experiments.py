@@ -1,0 +1,59 @@
+"""Tests for the ablation experiment runners (reduced sizes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_contention,
+    run_dbn_ablation,
+    run_floorplan_sweep,
+    run_hysteresis_ablation,
+    run_threshold_ablation,
+)
+
+
+class TestThresholdAblation:
+    def test_chroma_wins(self):
+        result = run_threshold_ablation(n_frames=12, seed=17)
+        checks = result.shape_checks()
+        assert checks["chroma_reduces_spurious"]
+        assert checks["chroma_at_least_as_accurate"]
+
+    def test_render(self):
+        result = run_threshold_ablation(n_frames=6, seed=18)
+        assert "luma only" in result.render()
+
+
+class TestDbnAblation:
+    def test_dbn_not_worse(self):
+        result = run_dbn_ablation(n_frames=12, seed=19)
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+
+
+class TestHysteresisAblation:
+    def test_storm_suppressed(self):
+        result = run_hysteresis_ablation(duration_s=60.0)
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+        assert result.naive_switches > result.hysteretic_switches
+
+
+class TestFloorplanSweep:
+    def test_monotone_and_paper_point(self):
+        result = run_floorplan_sweep()
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_render_rows(self):
+        result = run_floorplan_sweep(slacks=(1.0, 1.125))
+        assert "RP area" in result.render()
+
+
+class TestContention:
+    def test_paper_controller_keeps_hp_free(self):
+        result = run_contention()
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+        assert result.zycap_delay_ms > 10.0

@@ -1,0 +1,45 @@
+"""Tests for the reconfiguration experiments (RT / RL)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reconfig import (
+    PAPER_THROUGHPUT_MB_S,
+    run_latency,
+    run_throughput,
+)
+
+
+class TestThroughputExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_throughput()
+
+    def test_all_controllers_measured(self, result):
+        assert set(result.reports) == set(PAPER_THROUGHPUT_MB_S)
+
+    def test_all_shape_checks_pass(self, result):
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_values_match_paper(self, result):
+        for name, expected in PAPER_THROUGHPUT_MB_S.items():
+            assert result.throughput(name) == pytest.approx(expected, rel=0.05)
+
+    def test_render_includes_theoretical_max(self, result):
+        assert "theoretical" in result.render()
+
+
+class TestLatencyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_latency(duration_s=60.0)
+
+    def test_all_shape_checks_pass(self, result):
+        checks = result.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_render_reports_drops(self, result):
+        text = result.render()
+        assert "dropped" in text and "20" in text

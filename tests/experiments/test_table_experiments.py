@@ -1,0 +1,71 @@
+"""Tests for the Table I / Table II experiment runners (reduced scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(scale=0.2, seed=0)
+
+
+class TestTable1:
+    def test_all_cells_filled(self, table1):
+        for model in ("day", "dusk", "combined"):
+            for scenario in ("day", "dusk", "dusk-subset"):
+                counts = table1.cells[model][scenario]
+                assert counts.total > 0
+
+    def test_paper_reference_is_verbatim(self):
+        # Spot-check against the printed Table I.
+        assert PAPER_TABLE1["day"]["day"] == (0.9600, 195, 21, 4, 5)
+        assert PAPER_TABLE1["dusk"]["day"][0] == pytest.approx(0.2089)
+        assert PAPER_TABLE1["combined"]["dusk-subset"][1:] == (805, 740, 12, 158)
+
+    def test_core_shape_claims(self, table1):
+        checks = table1.shape_checks()
+        # The claims the paper's Section III-A text actually makes:
+        assert checks["day_model_best_on_day"]
+        assert checks["dusk_model_degrades_on_day"]
+        assert checks["subset_improves_all_models"]
+
+    def test_render_contains_rows(self, table1):
+        text = table1.render()
+        assert "day" in text and "combined" in text
+        assert "%" in text
+
+    def test_render_with_paper_side_by_side(self, table1):
+        text = table1.render_with_paper()
+        assert "paper" in text
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            run_table1(scale=0.0)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return run_table2()
+
+    def test_all_shape_checks_pass(self, table2):
+        checks = table2.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_matches_every_paper_cell_within_3pts(self, table2):
+        measured = table2.utilization_rows()
+        for row, cells in PAPER_TABLE2.items():
+            for cls, expected in cells.items():
+                assert measured[row][cls] == pytest.approx(expected, abs=0.03), (row, cls)
+
+    def test_total_is_static_plus_partition(self, table2):
+        total = table2.total
+        assert total.lut == table2.static.lut + table2.partition.capacity.lut
+
+    def test_render_mentions_device(self, table2):
+        assert "XC7Z100" in table2.render()

@@ -1,0 +1,81 @@
+"""Tests for repro.features.gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FeatureError
+from repro.features.gradients import gradient_field, orientation_bins
+
+
+class TestGradientField:
+    def test_constant_image_zero_magnitude(self):
+        field = gradient_field(np.full((8, 8), 0.5))
+        assert np.allclose(field.magnitude, 0.0)
+
+    def test_vertical_edge_orientation(self):
+        img = np.zeros((8, 8))
+        img[:, 4:] = 1.0
+        field = gradient_field(img)
+        col = 4
+        strong = field.magnitude[:, col] > 0.1
+        # Horizontal gradient -> orientation ~ 0 (mod pi).
+        angles = field.orientation[:, col][strong]
+        assert np.all((angles < 0.1) | (angles > np.pi - 0.1))
+
+    def test_horizontal_edge_orientation(self):
+        img = np.zeros((8, 8))
+        img[4:, :] = 1.0
+        field = gradient_field(img)
+        strong = field.magnitude > 0.1
+        angles = field.orientation[strong]
+        assert np.all(np.abs(angles - np.pi / 2) < 0.1)
+
+    def test_orientation_range(self):
+        rng = np.random.default_rng(0)
+        field = gradient_field(rng.random((16, 16)))
+        assert field.orientation.min() >= 0.0
+        assert field.orientation.max() < np.pi
+
+    def test_magnitude_nonnegative(self):
+        rng = np.random.default_rng(1)
+        field = gradient_field(rng.random((10, 10)))
+        assert field.magnitude.min() >= 0.0
+
+    def test_shape_property(self):
+        field = gradient_field(np.zeros((5, 9)))
+        assert field.shape == (5, 9)
+
+
+class TestOrientationBins:
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        field = gradient_field(rng.random((12, 12)))
+        _, w_lo, w_hi = orientation_bins(field, 9)
+        assert np.allclose(w_lo + w_hi, 1.0)
+
+    def test_bins_in_range(self):
+        rng = np.random.default_rng(3)
+        field = gradient_field(rng.random((12, 12)))
+        bin_lo, _, _ = orientation_bins(field, 9)
+        assert bin_lo.min() >= 0 and bin_lo.max() < 9
+
+    def test_bin_center_gets_full_weight(self):
+        from repro.features.gradients import GradientField
+
+        n_bins = 9
+        bin_width = np.pi / n_bins
+        angle = (3 + 0.5) * bin_width  # center of bin 3
+        field = GradientField(
+            magnitude=np.ones((1, 1)), orientation=np.full((1, 1), angle)
+        )
+        bin_lo, w_lo, w_hi = orientation_bins(field, n_bins)
+        assert bin_lo[0, 0] == 3
+        assert w_lo[0, 0] == pytest.approx(1.0)
+        assert w_hi[0, 0] == pytest.approx(0.0)
+
+    def test_rejects_single_bin(self):
+        field = gradient_field(np.zeros((4, 4)))
+        with pytest.raises(FeatureError):
+            orientation_bins(field, 1)

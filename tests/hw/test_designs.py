@@ -1,0 +1,84 @@
+"""Tests for repro.hw.designs: the three Table-II designs and pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.designs import (
+    dark_design,
+    dark_pipeline,
+    day_dusk_design,
+    day_dusk_pipeline,
+    hog_svm_design,
+    pedestrian_design,
+    pedestrian_pipeline,
+    static_design,
+)
+from repro.hw.resources import ZYNQ_7Z100
+
+
+class TestDesigns:
+    def test_dark_is_largest_configuration(self):
+        # "the dark configuration consumes more resources on the FPGA fabric"
+        dd = day_dusk_design().total
+        dk = dark_design().total
+        assert dk.lut > dd.lut
+        assert dk.dsp > dd.dsp
+
+    def test_all_fit_device(self):
+        for design in (day_dusk_design(), dark_design(), static_design()):
+            assert design.total.fits_in(ZYNQ_7Z100.available), design.name
+
+    def test_utilization_near_paper(self):
+        targets = {
+            "day-dusk": (day_dusk_design(), {"LUT": 0.19, "FF": 0.09, "BRAM": 0.11, "DSP48": 0.01}),
+            "dark": (dark_design(), {"LUT": 0.40, "FF": 0.23, "BRAM": 0.19, "DSP48": 0.29}),
+            "static": (static_design(), {"LUT": 0.21, "FF": 0.10, "BRAM": 0.12, "DSP48": 0.01}),
+        }
+        for name, (design, paper) in targets.items():
+            measured = ZYNQ_7Z100.utilization(design.total)
+            for cls, expected in paper.items():
+                assert measured[cls] == pytest.approx(expected, abs=0.03), (name, cls)
+
+    def test_block_accounting_sums(self):
+        design = dark_design()
+        total = design.total
+        assert total.lut == sum(rv.lut for _, rv in design.blocks)
+        assert total.dsp == sum(rv.dsp for _, rv in design.blocks)
+
+    def test_dbn_engines_drive_dsp(self):
+        one = dark_design(dbn_engines=1).total
+        three = dark_design(dbn_engines=3).total
+        assert three.dsp > 2 * one.dsp
+
+    def test_two_models_in_bram(self):
+        # "different versions of the trained model ... stored in two block RAM"
+        dual = hog_svm_design(n_models=2).total
+        single = hog_svm_design(n_models=1).total
+        assert dual.bram >= single.bram
+
+    def test_pedestrian_smaller_than_vehicle(self):
+        assert pedestrian_design().total.lut < day_dusk_design().total.lut
+
+    def test_static_includes_infrastructure(self):
+        blocks = dict(static_design().blocks)
+        assert "PR controller + ICAP manager" in blocks
+        assert "AXI DMA cores x5" in blocks
+        assert "PL DDR3 controller" in blocks
+
+
+class TestPipelines:
+    @pytest.mark.parametrize(
+        "factory", [day_dusk_pipeline, dark_pipeline, pedestrian_pipeline]
+    )
+    def test_all_achieve_50fps(self, factory):
+        assert factory().fps >= 50.0
+
+    def test_dark_dbn_stage_fits_budget(self):
+        pipe = dark_pipeline()
+        dbn_stage = next(s for s in pipe.stages if "DBN" in s.name)
+        assert pipe.stage_cycles_per_frame(dbn_stage) < pipe.timing.total_pixels
+
+    def test_latency_under_two_frames(self):
+        for pipe in (day_dusk_pipeline(), dark_pipeline(), pedestrian_pipeline()):
+            assert pipe.frame_latency_s < 2.0 / 50.0

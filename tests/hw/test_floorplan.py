@@ -1,0 +1,75 @@
+"""Tests for repro.hw.floorplan: RP sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hw.designs import dark_design, day_dusk_design
+from repro.hw.floorplan import (
+    PAPER_SLACK,
+    Partition,
+    plan_partition,
+    plan_vehicle_partition,
+    region_capacity,
+)
+from repro.hw.resources import ResourceVector, ZYNQ_7Z100
+
+
+class TestRegionCapacity:
+    def test_full_fabric(self):
+        cap = region_capacity(ZYNQ_7Z100, 1.0)
+        assert cap.lut == ZYNQ_7Z100.available.lut
+
+    def test_packing_derates_columns(self):
+        cap = region_capacity(ZYNQ_7Z100, 0.5)
+        assert cap.lut == ZYNQ_7Z100.available.lut // 2
+        assert cap.dsp < ZYNQ_7Z100.available.dsp // 2 + 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ResourceError):
+            region_capacity(ZYNQ_7Z100, 0.0)
+
+
+class TestPlanPartition:
+    def test_paper_partition_is_45_percent(self):
+        # Table II: RP at 45 % LUT / 45 % FF / 40 % BRAM / 40 % DSP.
+        rp = plan_vehicle_partition([day_dusk_design().total, dark_design().total])
+        assert rp.area_fraction == pytest.approx(0.45)
+        u = ZYNQ_7Z100.utilization(rp.capacity)
+        assert u["LUT"] == pytest.approx(0.45, abs=0.005)
+        assert u["BRAM"] == pytest.approx(0.40, abs=0.01)
+
+    def test_partition_holds_both_configurations(self):
+        rp = plan_vehicle_partition([day_dusk_design().total, dark_design().total])
+        assert rp.fits(day_dusk_design().total)
+        assert rp.fits(dark_design().total)
+
+    def test_slack_grows_area(self):
+        req = dark_design().total
+        small = plan_partition(req, slack=1.0)
+        big = plan_partition(req, slack=1.6)
+        assert big.area_fraction > small.area_fraction
+
+    def test_rejects_sub_unity_slack(self):
+        with pytest.raises(ResourceError):
+            plan_partition(ResourceVector(lut=10), slack=0.9)
+
+    def test_rejects_oversized_requirement(self):
+        huge = ResourceVector(lut=ZYNQ_7Z100.available.lut)
+        with pytest.raises(ResourceError):
+            plan_partition(huge, slack=1.5)
+
+    def test_rejects_empty_configuration_list(self):
+        with pytest.raises(ResourceError):
+            plan_vehicle_partition([])
+
+    def test_paper_slack_value(self):
+        # The text says "about 1.2 times"; Table II realises 45/40 = 1.125
+        # over the binding LUT requirement.
+        assert PAPER_SLACK == pytest.approx(1.125)
+
+    def test_partition_capacity_meets_slacked_requirement(self):
+        req = dark_design().total
+        rp = plan_partition(req, slack=1.125)
+        assert req.scaled(1.125).fits_in(rp.capacity)

@@ -1,0 +1,115 @@
+"""Tests for repro.hw.resources: vectors, device, estimators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ResourceError
+from repro.hw.resources import (
+    Device,
+    ResourceVector,
+    ZYNQ_7Z100,
+    adder_tree,
+    axi_dma_core,
+    axi_interconnect,
+    bram_for_bits,
+    divider,
+    fifo,
+    line_buffer,
+    mac_array,
+)
+
+
+def vectors():
+    n = st.integers(min_value=0, max_value=10**6)
+    return st.builds(ResourceVector, lut=n, ff=n, bram=st.integers(0, 1000), dsp=st.integers(0, 2000))
+
+
+class TestVector:
+    def test_rejects_negative(self):
+        with pytest.raises(ResourceError):
+            ResourceVector(lut=-1)
+
+    @given(vectors(), vectors())
+    def test_addition_componentwise(self, a, b):
+        s = a + b
+        assert s.lut == a.lut + b.lut
+        assert s.dsp == a.dsp + b.dsp
+
+    @given(vectors(), vectors(), vectors())
+    def test_addition_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(vectors())
+    def test_scaling_monotone(self, v):
+        assert v.fits_in(v.scaled(1.5))
+
+    def test_scaled_ceils(self):
+        v = ResourceVector(lut=3).scaled(1.1)
+        assert v.lut == 4
+
+    @given(vectors(), vectors())
+    def test_max_with_dominates_both(self, a, b):
+        m = a.max_with(b)
+        assert a.fits_in(m) and b.fits_in(m)
+
+    def test_fits_in(self):
+        small = ResourceVector(lut=10, ff=10, bram=1, dsp=1)
+        big = ResourceVector(lut=20, ff=20, bram=2, dsp=2)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+
+class TestDevice:
+    def test_paper_available_row(self):
+        # Table II "Available Resources".
+        avail = ZYNQ_7Z100.available
+        assert (avail.lut, avail.ff, avail.bram, avail.dsp) == (277400, 554800, 755, 2020)
+
+    def test_utilization_fractions(self):
+        u = ZYNQ_7Z100.utilization(ResourceVector(lut=27740, ff=0, bram=0, dsp=202))
+        assert u["LUT"] == pytest.approx(0.1)
+        assert u["DSP48"] == pytest.approx(0.1)
+
+
+class TestEstimators:
+    def test_bram_for_bits(self):
+        assert bram_for_bits(0) == 0
+        assert bram_for_bits(36 * 1024) == 1
+        assert bram_for_bits(36 * 1024 + 1) == 2
+
+    def test_line_buffer_bram_scales_with_rows(self):
+        small = line_buffer(1, 1920, 8)
+        big = line_buffer(9, 1920, 8)
+        assert big.bram > small.bram
+
+    def test_line_buffer_rejects_bad_geometry(self):
+        with pytest.raises(ResourceError):
+            line_buffer(1, 0, 8)
+
+    def test_mac_array_dsp_mapping(self):
+        assert mac_array(10, use_dsp=True).dsp == 10
+        assert mac_array(10, use_dsp=False).dsp == 0
+        assert mac_array(10, use_dsp=False).lut > mac_array(10, use_dsp=True).lut
+
+    def test_adder_tree_grows_with_inputs(self):
+        assert adder_tree(81, 16).lut > adder_tree(9, 16).lut
+
+    def test_divider_uses_dsp(self):
+        assert divider().dsp >= 1
+
+    def test_fifo_bram(self):
+        assert fifo(36 * 1024).bram == 1
+
+    def test_interconnect_grows_with_masters(self):
+        assert axi_interconnect(4).lut > axi_interconnect(1).lut
+
+    def test_interconnect_rejects_zero_masters(self):
+        with pytest.raises(ResourceError):
+            axi_interconnect(0)
+
+    def test_dma_core_is_plausible(self):
+        dma = axi_dma_core()
+        assert 500 < dma.lut < 10_000
+        assert dma.bram >= 1

@@ -1,0 +1,90 @@
+"""Tests for repro.imaging.draw: rasterisers and ASCII rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.imaging.draw import (
+    ascii_render,
+    ascii_render_with_boxes,
+    draw_box,
+    fill_disk,
+    fill_rect,
+    light_glow,
+)
+from repro.imaging.geometry import Rect
+
+
+class TestFill:
+    def test_fill_rect_gray(self):
+        img = np.zeros((6, 6))
+        fill_rect(img, Rect(1, 2, 3, 2), 1.0)
+        assert img[2:4, 1:4].sum() == 6
+        assert img.sum() == 6
+
+    def test_fill_rect_rgb(self):
+        img = np.zeros((4, 4, 3))
+        fill_rect(img, Rect(0, 0, 2, 2), (1.0, 0.5, 0.0))
+        assert img[0, 0].tolist() == [1.0, 0.5, 0.0]
+
+    def test_fill_rect_clips(self):
+        img = np.zeros((4, 4))
+        fill_rect(img, Rect(3, 3, 5, 5), 1.0)
+        assert img.sum() == 1
+
+    def test_draw_box_outline_only(self):
+        img = np.zeros((8, 8))
+        draw_box(img, Rect(1, 1, 5, 5), 1.0)
+        assert img[1, 1] == 1.0
+        assert img[3, 3] == 0.0
+
+    def test_draw_box_rejects_bad_thickness(self):
+        with pytest.raises(ImageError):
+            draw_box(np.zeros((4, 4)), Rect(0, 0, 2, 2), 1.0, thickness=0)
+
+    def test_fill_disk(self):
+        img = np.zeros((11, 11))
+        fill_disk(img, 5, 5, 2.5, 1.0)
+        assert img[5, 5] == 1.0
+        assert img[0, 0] == 0.0
+        assert 10 < img.sum() < 25  # roughly pi * r^2
+
+    def test_fill_disk_rejects_bad_radius(self):
+        with pytest.raises(ImageError):
+            fill_disk(np.zeros((4, 4)), 2, 2, 0.0, 1.0)
+
+
+class TestGlow:
+    def test_peak_at_center(self):
+        glow = light_glow(9, 9, 4, 4, 2.0, intensity=0.8)
+        assert glow[4, 4] == pytest.approx(0.8)
+        assert glow[0, 0] < glow[4, 4]
+
+    def test_monotone_falloff(self):
+        glow = light_glow(21, 21, 10, 10, 3.0)
+        row = glow[10, 10:]
+        assert all(a >= b for a, b in zip(row, row[1:]))
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ImageError):
+            light_glow(5, 5, 2, 2, -1.0)
+
+
+class TestAscii:
+    def test_render_shape_and_charset(self):
+        img = np.random.default_rng(0).random((20, 40))
+        art = ascii_render(img, width=30)
+        lines = art.split("\n")
+        assert all(len(line) == 30 for line in lines)
+
+    def test_constant_image_renders_uniform(self):
+        art = ascii_render(np.full((10, 10), 0.5), width=10)
+        assert len(set(art.replace("\n", ""))) == 1
+
+    def test_render_with_boxes_adds_bright_pixels(self):
+        img = np.zeros((30, 30))
+        plain = ascii_render(img, width=20)
+        boxed = ascii_render_with_boxes(img, [Rect(5, 5, 15, 15)], width=20)
+        assert plain != boxed

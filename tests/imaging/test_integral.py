@@ -1,0 +1,66 @@
+"""Tests for repro.imaging.integral: summed-area tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ImageError
+from repro.imaging.geometry import Rect
+from repro.imaging.integral import box_mean, box_sum, integral_image, occupancy
+
+
+class TestIntegral:
+    def test_shape_has_zero_border(self):
+        ii = integral_image(np.ones((3, 4)))
+        assert ii.shape == (4, 5)
+        assert ii[0].sum() == 0 and ii[:, 0].sum() == 0
+
+    def test_total_sum_in_corner(self):
+        img = np.arange(12, dtype=float).reshape(3, 4)
+        ii = integral_image(img)
+        assert ii[-1, -1] == pytest.approx(img.sum())
+
+    def test_box_sum_matches_slice(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((8, 9))
+        ii = integral_image(img)
+        rect = Rect(2, 3, 4, 2)
+        assert box_sum(ii, rect) == pytest.approx(img[3:5, 2:6].sum())
+
+    def test_box_sum_rejects_out_of_bounds(self):
+        ii = integral_image(np.ones((4, 4)))
+        with pytest.raises(ImageError):
+            box_sum(ii, Rect(2, 2, 4, 4))
+
+    def test_box_mean(self):
+        img = np.full((4, 4), 0.25)
+        ii = integral_image(img)
+        assert box_mean(ii, Rect(0, 0, 4, 4)) == pytest.approx(0.25)
+
+    def test_occupancy_binary(self):
+        mask = np.zeros((4, 4))
+        mask[0:2, 0:2] = 1.0
+        ii = integral_image(mask)
+        assert occupancy(ii, Rect(0, 0, 4, 4)) == pytest.approx(0.25)
+
+    @settings(max_examples=40)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(4, 9), st.integers(4, 9)),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        st.data(),
+    )
+    def test_box_sum_equals_numpy_slice(self, img, data):
+        h, w = img.shape
+        x = data.draw(st.integers(0, w - 2))
+        y = data.draw(st.integers(0, h - 2))
+        bw = data.draw(st.integers(1, w - x))
+        bh = data.draw(st.integers(1, h - y))
+        ii = integral_image(img)
+        expected = img[y : y + bh, x : x + bw].sum()
+        assert box_sum(ii, Rect(x, y, bw, bh)) == pytest.approx(expected, abs=1e-9)

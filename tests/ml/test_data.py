@@ -1,0 +1,74 @@
+"""Tests for repro.ml.data: splits, shuffles, balancing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.data import balance_classes, shuffle_together, train_test_split
+
+
+class TestSplit:
+    def test_partition_sizes(self):
+        x = np.arange(100).reshape(100, 1).astype(float)
+        y = np.array([1] * 50 + [-1] * 50)
+        xtr, ytr, xte, yte = train_test_split(x, y, test_fraction=0.2)
+        assert len(ytr) + len(yte) == 100
+        assert len(yte) == 20
+
+    def test_stratified(self):
+        x = np.zeros((30, 1))
+        y = np.array([1] * 20 + [-1] * 10)
+        _, ytr, _, yte = train_test_split(x, y, test_fraction=0.3)
+        assert (yte == 1).sum() == 6
+        assert (yte == -1).sum() == 3
+
+    def test_no_overlap(self):
+        x = np.arange(40).reshape(40, 1).astype(float)
+        y = np.array([1, -1] * 20)
+        xtr, _, xte, _ = train_test_split(x, y, test_fraction=0.25, seed=3)
+        assert set(xtr.ravel()).isdisjoint(set(xte.ravel()))
+
+    def test_small_class_keeps_train_sample(self):
+        x = np.zeros((5, 1))
+        y = np.array([1, 1, 1, -1, -1])
+        _, ytr, _, _ = train_test_split(x, y, test_fraction=0.5)
+        assert (ytr == -1).sum() >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.zeros((4, 1)), np.array([1, 1, -1, -1]), test_fraction=1.0)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.zeros((4, 1)), np.array([1, -1]))
+
+
+class TestShuffle:
+    def test_alignment_preserved(self):
+        x = np.arange(20).reshape(20, 1).astype(float)
+        y = np.arange(20)
+        xs, ys = shuffle_together(x, y, seed=1)
+        assert np.array_equal(xs.ravel().astype(int), ys)
+
+    def test_is_permutation(self):
+        x = np.arange(10).reshape(10, 1)
+        y = np.arange(10)
+        xs, _ = shuffle_together(x, y, seed=2)
+        assert sorted(xs.ravel().tolist()) == list(range(10))
+
+
+class TestBalance:
+    def test_downsamples_majority(self):
+        x = np.zeros((30, 2))
+        y = np.array([1] * 25 + [-1] * 5)
+        _, yb = balance_classes(x, y)
+        assert (yb == 1).sum() == 5
+        assert (yb == -1).sum() == 5
+
+    def test_already_balanced_unchanged_size(self):
+        x = np.zeros((10, 1))
+        y = np.array([1, -1] * 5)
+        xb, yb = balance_classes(x, y)
+        assert len(yb) == 10

@@ -1,0 +1,84 @@
+"""Tests for repro.ml.linear: LinearModel and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotTrainedError
+from repro.ml.linear import LinearModel, require_trained, validate_training_set
+
+
+class TestLinearModel:
+    def test_decision_values_single(self):
+        m = LinearModel(weights=np.array([1.0, -2.0]), bias=0.5)
+        assert float(m.decision_values(np.array([2.0, 1.0]))) == pytest.approx(0.5)
+
+    def test_decision_values_batch(self):
+        m = LinearModel(weights=np.array([1.0, 0.0]), bias=0.0)
+        vals = m.decision_values(np.array([[1.0, 9.0], [-2.0, 3.0]]))
+        assert vals.tolist() == [1.0, -2.0]
+
+    def test_predict_labels(self):
+        m = LinearModel(weights=np.array([1.0]), bias=0.0)
+        assert m.predict(np.array([[2.0], [-2.0]])).tolist() == [1, -1]
+
+    def test_custom_labels(self):
+        m = LinearModel(weights=np.array([1.0]), bias=0.0, label_positive=7, label_negative=3)
+        assert m.predict(np.array([[1.0], [-1.0]])).tolist() == [7, 3]
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ModelError):
+            LinearModel(weights=np.array([]), bias=0.0)
+
+    def test_rejects_dimension_mismatch(self):
+        m = LinearModel(weights=np.array([1.0, 2.0]), bias=0.0)
+        with pytest.raises(ModelError):
+            m.decision_values(np.array([1.0, 2.0, 3.0]))
+
+    def test_divergence_identical_zero(self):
+        m = LinearModel(weights=np.array([1.0, 2.0]), bias=0.0)
+        assert m.model_divergence(m) == pytest.approx(0.0, abs=1e-7)
+
+    def test_divergence_opposite_one(self):
+        a = LinearModel(weights=np.array([1.0, 0.0]), bias=0.0)
+        b = LinearModel(weights=np.array([-1.0, 0.0]), bias=0.0)
+        assert a.model_divergence(b) == pytest.approx(1.0)
+
+    def test_divergence_orthogonal_half(self):
+        a = LinearModel(weights=np.array([1.0, 0.0]), bias=0.0)
+        b = LinearModel(weights=np.array([0.0, 1.0]), bias=0.0)
+        assert a.model_divergence(b) == pytest.approx(0.5)
+
+    def test_divergence_rejects_zero_model(self):
+        a = LinearModel(weights=np.array([1.0]), bias=0.0)
+        b = LinearModel(weights=np.array([1e-300]), bias=0.0)
+        b.weights = np.array([0.0])
+        with pytest.raises(ModelError):
+            a.model_divergence(b)
+
+
+class TestHelpers:
+    def test_require_trained_passes_model(self):
+        m = LinearModel(weights=np.array([1.0]), bias=0.0)
+        assert require_trained(m, "x") is m
+
+    def test_require_trained_raises_on_none(self):
+        with pytest.raises(NotTrainedError):
+            require_trained(None, "detector")
+
+    def test_validate_training_set_ok(self):
+        x, y = validate_training_set(np.zeros((4, 2)), np.array([1, -1, 1, -1]))
+        assert x.shape == (4, 2)
+
+    def test_validate_rejects_single_class(self):
+        with pytest.raises(ModelError):
+            validate_training_set(np.zeros((3, 2)), np.array([1, 1, 1]))
+
+    def test_validate_rejects_bad_labels(self):
+        with pytest.raises(ModelError):
+            validate_training_set(np.zeros((2, 2)), np.array([0, 1]))
+
+    def test_validate_rejects_misaligned(self):
+        with pytest.raises(ModelError):
+            validate_training_set(np.zeros((3, 2)), np.array([1, -1]))

@@ -1,0 +1,84 @@
+"""Tests for repro.ml.model_io: linear-model JSON and DBN npz round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.dbn import DbnConfig, DeepBeliefNetwork
+from repro.ml.linear import LinearModel
+from repro.ml.logistic import SoftmaxConfig
+from repro.ml.model_io import load_dbn, load_linear_model, save_dbn, save_linear_model
+from repro.ml.rbm import RbmConfig
+
+
+class TestLinearIo:
+    def test_roundtrip(self, tmp_path):
+        model = LinearModel(
+            weights=np.linspace(-1, 1, 17),
+            bias=0.37,
+            meta={"name": "day", "c": 1.0},
+        )
+        path = tmp_path / "day.json"
+        save_linear_model(model, path)
+        loaded = load_linear_model(path)
+        assert np.allclose(loaded.weights, model.weights)
+        assert loaded.bias == pytest.approx(model.bias)
+        assert loaded.meta["name"] == "day"
+
+    def test_custom_labels_preserved(self, tmp_path):
+        model = LinearModel(weights=np.ones(3), bias=0.0, label_positive=5, label_negative=2)
+        path = tmp_path / "m.json"
+        save_linear_model(model, path)
+        loaded = load_linear_model(path)
+        assert loaded.label_positive == 5 and loaded.label_negative == 2
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ModelError):
+            load_linear_model(path)
+
+    def test_rejects_corrupt_payload(self, tmp_path):
+        model = LinearModel(weights=np.ones(4), bias=0.0)
+        path = tmp_path / "m.json"
+        save_linear_model(model, path)
+        text = path.read_text().replace('"shape": [4]', '"shape": [5]')
+        path.write_text(text)
+        with pytest.raises(ModelError):
+            load_linear_model(path)
+
+
+class TestDbnIo:
+    def _small_trained_dbn(self):
+        rng = np.random.default_rng(0)
+        x = (rng.random((60, 16)) < 0.4).astype(float)
+        y = rng.integers(0, 3, 60)
+        dbn = DeepBeliefNetwork(
+            DbnConfig(
+                layers=(16, 6, 4),
+                n_classes=3,
+                rbm=RbmConfig(epochs=2),
+                head=SoftmaxConfig(epochs=10),
+                finetune_epochs=2,
+            )
+        )
+        dbn.fit(x, y)
+        return dbn, x
+
+    def test_roundtrip_predictions_identical(self, tmp_path):
+        dbn, x = self._small_trained_dbn()
+        path = tmp_path / "dbn.npz"
+        save_dbn(dbn, path)
+        loaded = load_dbn(path)
+        assert np.array_equal(loaded.predict(x), dbn.predict(x))
+        assert np.allclose(loaded.predict_proba(x), dbn.predict_proba(x))
+
+    def test_architecture_restored(self, tmp_path):
+        dbn, _ = self._small_trained_dbn()
+        path = tmp_path / "dbn.npz"
+        save_dbn(dbn, path)
+        loaded = load_dbn(path)
+        assert loaded.config.layers == (16, 6, 4)
+        assert loaded.config.n_classes == 3

@@ -1,0 +1,60 @@
+"""Tests for repro.ml.scaler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotTrainedError
+from repro.ml.scaler import MinMaxScaler, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_passes_through(self):
+        x = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        out = StandardScaler().fit_transform(x)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_width_mismatch(self):
+        s = StandardScaler().fit(np.zeros((3, 2)))
+        with pytest.raises(ModelError):
+            s.transform(np.zeros((3, 3)))
+
+    def test_single_row_transform(self):
+        s = StandardScaler().fit(np.array([[0.0, 10.0], [2.0, 20.0]]))
+        out = s.transform(np.array([1.0, 15.0]))
+        assert out.shape == (1, 2)
+        assert np.allclose(out, 0.0)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 5, size=(100, 3))
+        out = MinMaxScaler().fit_transform(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_extremes_hit_bounds(self):
+        x = np.array([[0.0], [10.0]])
+        out = MinMaxScaler().fit_transform(x)
+        assert out.tolist() == [[0.0], [1.0]]
+
+    def test_out_of_range_clipped(self):
+        s = MinMaxScaler().fit(np.array([[0.0], [1.0]]))
+        out = s.transform(np.array([[2.0], [-1.0]]))
+        assert out.tolist() == [[1.0], [0.0]]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotTrainedError):
+            MinMaxScaler().transform(np.zeros((1, 1)))

@@ -1,0 +1,70 @@
+"""Tests for repro.pipelines.persistence: detector bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.scaler import StandardScaler
+from repro.pipelines.dark import DarkVehicleDetector
+from repro.pipelines.persistence import (
+    load_detector_bundle,
+    load_scaler,
+    save_detector_bundle,
+    save_scaler,
+)
+
+
+class TestScalerIo:
+    def test_roundtrip(self, tmp_path):
+        scaler = StandardScaler().fit(np.random.default_rng(0).normal(3, 2, size=(50, 4)))
+        path = tmp_path / "scaler.npz"
+        save_scaler(scaler, path)
+        loaded = load_scaler(path)
+        x = np.random.default_rng(1).random((5, 4))
+        assert np.allclose(loaded.transform(x), scaler.transform(x))
+
+    def test_rejects_unfitted(self, tmp_path):
+        with pytest.raises(ModelError):
+            save_scaler(StandardScaler(), tmp_path / "s.npz")
+
+
+class TestBundle:
+    def test_roundtrip_inference_identical(self, tmp_path, condition_models, dark_detector, dark_frame):
+        root = save_detector_bundle(tmp_path / "bundle", condition_models, dark_detector)
+        models, dark = load_detector_bundle(root)
+        assert set(models) == set(condition_models)
+        # Linear models: identical decisions.
+        rng = np.random.default_rng(2)
+        feats = rng.random((4, condition_models["day"].n_features))
+        for name in models:
+            assert np.allclose(
+                models[name].decision_values(feats),
+                condition_models[name].decision_values(feats),
+            )
+        # Dark pipeline: identical detections on a real frame.
+        original = dark_detector.detect(dark_frame.rgb)
+        restored = dark.detect(dark_frame.rgb)
+        assert len(original) == len(restored)
+        for a, b in zip(original, restored):
+            assert a.rect.iou(b.rect) > 0.99
+            assert a.score == pytest.approx(b.score)
+
+    def test_config_preserved(self, tmp_path, condition_models, dark_detector):
+        root = save_detector_bundle(tmp_path / "b2", condition_models, dark_detector)
+        _, dark = load_detector_bundle(root)
+        assert dark.config == dark_detector.config
+
+    def test_rejects_untrained_dark(self, tmp_path, condition_models):
+        with pytest.raises(ModelError):
+            save_detector_bundle(tmp_path / "b3", condition_models, DarkVehicleDetector())
+
+    def test_rejects_non_bundle_directory(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_detector_bundle(tmp_path)
+
+    def test_rejects_foreign_manifest(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"format": "something-else"}')
+        with pytest.raises(ModelError):
+            load_detector_bundle(tmp_path)

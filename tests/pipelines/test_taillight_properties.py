@@ -1,0 +1,119 @@
+"""Property-based tests for taillight pair geometry (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.imaging.geometry import Rect
+from repro.pipelines.taillight import (
+    CLASS_RADIUS_PX,
+    PAIR_SEPARATION_RATIO,
+    TaillightCandidate,
+    pair_features,
+    pair_gate,
+    vehicle_box_from_pair,
+)
+
+
+def candidates():
+    coord = st.floats(min_value=0.0, max_value=320.0, allow_nan=False)
+    return st.builds(
+        lambda x, y, cls, area: TaillightCandidate(
+            center=(x, y),
+            size_class=cls,
+            area=area,
+            bbox=Rect(x - 2, y - 2, 4, 4),
+        ),
+        x=coord,
+        y=coord,
+        cls=st.integers(min_value=1, max_value=3),
+        area=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    )
+
+
+class TestPairFeatureProperties:
+    @settings(max_examples=60)
+    @given(candidates(), candidates())
+    def test_order_invariance(self, a, b):
+        assert np.allclose(pair_features(a, b), pair_features(b, a), atol=1e-9)
+
+    @settings(max_examples=60)
+    @given(candidates(), candidates())
+    def test_gate_symmetric(self, a, b):
+        assert pair_gate(a, b) == pair_gate(b, a)
+
+    @settings(max_examples=60)
+    @given(candidates(), candidates())
+    def test_features_finite(self, a, b):
+        feats = pair_features(a, b)
+        assert np.all(np.isfinite(feats))
+
+    @settings(max_examples=60)
+    @given(candidates(), candidates(), st.floats(min_value=-200, max_value=200), st.floats(min_value=-200, max_value=200))
+    def test_translation_invariance(self, a, b, dx, dy):
+        from dataclasses import replace
+
+        a2 = TaillightCandidate(
+            center=(a.center[0] + dx, a.center[1] + dy),
+            size_class=a.size_class,
+            area=a.area,
+            bbox=a.bbox,
+        )
+        b2 = TaillightCandidate(
+            center=(b.center[0] + dx, b.center[1] + dy),
+            size_class=b.size_class,
+            area=b.area,
+            bbox=b.bbox,
+        )
+        assert np.allclose(pair_features(a, b), pair_features(a2, b2), atol=1e-9)
+        assert pair_gate(a, b) == pair_gate(a2, b2)
+
+    @settings(max_examples=40)
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=10.0, max_value=250.0),
+    )
+    def test_canonical_pairs_pass_gate(self, cls, y, x):
+        """Perfectly aligned pairs at mid-band separation always gate in."""
+        radius = CLASS_RADIUS_PX[cls]
+        sep = radius * sum(PAIR_SEPARATION_RATIO) / 2.0
+        a = TaillightCandidate(center=(x, y), size_class=cls, area=radius**2 * 3, bbox=Rect(x, y, 2, 2))
+        b = TaillightCandidate(center=(x + sep, y), size_class=cls, area=radius**2 * 3, bbox=Rect(x + sep, y, 2, 2))
+        assert pair_gate(a, b)
+
+
+class TestVehicleBoxProperties:
+    @settings(max_examples=60)
+    @given(
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=10.0, max_value=200.0),
+        st.floats(min_value=4.0, max_value=80.0),
+    )
+    def test_box_contains_both_lights(self, x, y, sep):
+        a = TaillightCandidate(center=(x, y), size_class=2, area=5, bbox=Rect(x, y, 2, 2))
+        b = TaillightCandidate(center=(x + sep, y), size_class=2, area=5, bbox=Rect(x + sep, y, 2, 2))
+        box = vehicle_box_from_pair(a, b)
+        assert box.contains_point(x, y)
+        assert box.contains_point(x + sep - 1e-9, y)
+
+    @settings(max_examples=60)
+    @given(
+        st.floats(min_value=0.0, max_value=300.0),
+        st.floats(min_value=10.0, max_value=200.0),
+        st.floats(min_value=4.0, max_value=80.0),
+    )
+    def test_box_aspect_constant(self, x, y, sep):
+        a = TaillightCandidate(center=(x, y), size_class=2, area=5, bbox=Rect(x, y, 2, 2))
+        b = TaillightCandidate(center=(x + sep, y), size_class=2, area=5, bbox=Rect(x + sep, y, 2, 2))
+        box = vehicle_box_from_pair(a, b)
+        assert box.aspect == pytest_approx(1.0 / 0.77)
+
+
+def pytest_approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=1e-6)

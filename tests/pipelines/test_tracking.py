@@ -1,0 +1,170 @@
+"""Tests for repro.pipelines.tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.imaging.geometry import Rect
+from repro.pipelines.base import Detection
+from repro.pipelines.tracking import (
+    Track,
+    TrackerConfig,
+    TrackingPipeline,
+    VehicleTracker,
+    evaluate_tracking,
+)
+
+
+def _det(x: float, y: float, w: float = 20, h: float = 16, score: float = 1.0) -> Detection:
+    return Detection(rect=Rect(x, y, w, h), score=score)
+
+
+class TestConfig:
+    def test_rejects_bad_gate(self):
+        with pytest.raises(PipelineError):
+            TrackerConfig(iou_gate=1.5)
+
+    def test_rejects_bad_lifecycle(self):
+        with pytest.raises(PipelineError):
+            TrackerConfig(min_hits=0)
+
+
+class TestLifecycle:
+    def test_track_confirms_after_min_hits(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=2))
+        assert tracker.update([_det(10, 10)]) == []  # tentative
+        reported = tracker.update([_det(11, 10)])
+        assert len(reported) == 1
+        assert reported[0].confirmed
+
+    def test_stable_identity_across_motion(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1))
+        ids = []
+        for i in range(6):
+            reported = tracker.update([_det(10 + 3 * i, 10)])
+            ids.append(reported[0].track_id)
+        assert len(set(ids)) == 1
+
+    def test_coasting_through_dropout(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1, max_misses=2))
+        tracker.update([_det(10, 10)])
+        tracker.update([_det(13, 10)])
+        coasted = tracker.update([])  # detector dropout
+        assert len(coasted) == 1
+        assert coasted[0].misses == 1
+        # The prediction kept moving with the estimated velocity.
+        assert coasted[0].rect.x > 13
+
+    def test_track_dies_after_max_misses(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1, max_misses=1))
+        tracker.update([_det(10, 10)])
+        tracker.update([])
+        assert len(tracker.update([])) == 0
+        assert tracker.tracks == []
+
+    def test_reacquisition_after_dropout(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1, max_misses=3))
+        first = tracker.update([_det(10, 10)])[0].track_id
+        tracker.update([])
+        again = tracker.update([_det(12, 10)])
+        assert again[0].track_id == first
+
+    def test_two_targets_no_identity_swap(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1))
+        a0, b0 = _det(10, 10), _det(100, 10)
+        ids0 = {t.rect.x: t.track_id for t in tracker.update([a0, b0])}
+        a1, b1 = _det(14, 10), _det(96, 10)
+        reported = tracker.update([a1, b1])
+        for t in reported:
+            if t.rect.x < 50:
+                assert t.track_id == ids0[10.0]
+            else:
+                assert t.track_id == ids0[100.0]
+
+    def test_no_coasting_when_disabled(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1, coast_confirmed=False))
+        tracker.update([_det(10, 10)])
+        assert tracker.update([]) == []
+
+    def test_reset(self):
+        tracker = VehicleTracker(TrackerConfig(min_hits=1))
+        tracker.update([_det(10, 10)])
+        tracker.reset()
+        assert tracker.tracks == []
+        assert tracker.frames_processed == 0
+
+
+class _ScriptedDetector:
+    """Deterministic detector: returns a scripted detection list per call."""
+
+    name = "scripted"
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = 0
+
+    def detect(self, frame):
+        out = self.script[min(self.calls, len(self.script) - 1)]
+        self.calls += 1
+        return out
+
+    def classify_crop(self, crop):
+        return False, 0.0
+
+
+class TestTrackingPipeline:
+    def test_detections_carry_track_ids(self):
+        detector = _ScriptedDetector([[_det(10, 10)], [_det(12, 10)]])
+        pipeline = TrackingPipeline(detector, TrackerConfig(min_hits=1))
+        frame = np.zeros((8, 8, 3))
+        first = pipeline.detect(frame)
+        second = pipeline.detect(frame)
+        assert first[0].extra["track_id"] == second[0].extra["track_id"]
+
+    def test_coasting_flag(self):
+        detector = _ScriptedDetector([[_det(10, 10)], [_det(12, 10)], []])
+        pipeline = TrackingPipeline(detector, TrackerConfig(min_hits=1))
+        frame = np.zeros((8, 8, 3))
+        pipeline.detect(frame)
+        pipeline.detect(frame)
+        coasting = pipeline.detect(frame)
+        assert coasting[0].extra["coasting"]
+
+
+class TestSequenceEvaluation:
+    def test_tracking_recovers_synthetic_dropouts(self):
+        """A scripted flaky detector: tracking fills single-frame gaps."""
+        from repro.datasets.lighting import DAY_LIGHTING
+        from repro.datasets.scene import SceneConfig
+        from repro.datasets.sequences import SequenceConfig, render_sequence
+
+        frames = render_sequence(
+            SequenceConfig(
+                scene=SceneConfig(height=96, width=160, n_vehicles=1, seed=4),
+                n_frames=8,
+            ),
+            DAY_LIGHTING,
+        )
+
+        class Flaky:
+            name = "flaky"
+
+            def __init__(self):
+                self.calls = 0
+
+            def detect(self, frame_rgb):
+                self.calls += 1
+                if self.calls % 3 == 0:
+                    return []  # dropout every third frame
+                obj = frames[self.calls - 1].vehicles[0]
+                return [Detection(rect=obj.rect, score=1.0)]
+
+            def classify_crop(self, crop):
+                return False, 0.0
+
+        plain = evaluate_tracking(Flaky(), frames)
+        tracked = evaluate_tracking(TrackingPipeline(Flaky(), TrackerConfig(min_hits=1)), frames)
+        assert tracked.recall > plain.recall
+        assert tracked.id_switches == 0

@@ -1,0 +1,71 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCli:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_table2_prints_measured_table(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "XC7Z100" in out
+        assert "Reconfigurable Partition" in out
+        assert "shape checks" in out
+
+    def test_throughput_prints_controllers(self, capsys):
+        assert main(["throughput"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pcap", "hwicap", "zycap", "paper-pr"):
+            assert name in out
+
+    def test_fig7_prints_trace(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "reconfigure -> dark" in out
+
+    def test_fig2_prints_fps(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "50.5 fps" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])
+
+    def test_scale_flag_parsed(self, capsys):
+        # fig1 honours --scale (capped internally); tiny scale keeps it fast.
+        assert main(["fig1", "--scale", "0.1"]) == 0
+        assert "divergence" in capsys.readouterr().out
+
+
+class TestExtensibility:
+    def test_animal_configuration_fits_paper_partition(self):
+        """The paper's motivating extra ADS feature drops into the same RP."""
+        from repro.hw import animal_design, dark_design, day_dusk_design, plan_vehicle_partition
+
+        partition = plan_vehicle_partition([day_dusk_design().total, dark_design().total])
+        assert partition.fits(animal_design().total)
+
+    def test_soc_hosts_third_bitstream(self):
+        from repro.zynq import BitstreamRepository, PartialBitstream, ZynqSoC
+
+        repo = BitstreamRepository()
+        repo.add(PartialBitstream(name="day_dusk", payload_seed=1))
+        repo.add(PartialBitstream(name="dark", payload_seed=2))
+        repo.add(PartialBitstream(name="animal", payload_seed=3, size_bytes=8_000_000))
+        soc = ZynqSoC(repository=repo)
+        soc.reconfigure_vehicle("animal")
+        soc.sim.run()
+        assert soc.vehicle.configuration == "animal"
+        # ... and back, with the same ~20 ms cost.
+        report = soc.reconfigure_vehicle("day_dusk")
+        soc.sim.run()
+        assert report.duration_s * 1e3 == pytest.approx(20.5, abs=0.5)

@@ -1,0 +1,68 @@
+"""Tests for repro.zynq.bitstream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.zynq.bitstream import (
+    PAPER_PARTIAL_BITSTREAM_BYTES,
+    BitstreamRepository,
+    PartialBitstream,
+    paper_bitstreams,
+)
+
+
+class TestBitstream:
+    def test_paper_size(self):
+        assert PAPER_PARTIAL_BITSTREAM_BYTES == 8_000_000
+
+    def test_words(self):
+        bs = PartialBitstream(name="x", size_bytes=1024)
+        assert bs.words == 256
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(BitstreamError):
+            PartialBitstream(name="x", size_bytes=1001)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(BitstreamError):
+            PartialBitstream(name="x", size_bytes=0)
+
+    def test_integrity_check(self):
+        bs = PartialBitstream(name="dark")
+        assert bs.verify()
+        bs.corrupt()
+        assert not bs.verify()
+
+    def test_corrupt_twice_restores(self):
+        bs = PartialBitstream(name="dark")
+        bs.corrupt()
+        bs.corrupt()
+        assert bs.verify()
+
+
+class TestRepository:
+    def test_add_get(self):
+        repo = BitstreamRepository()
+        bs = PartialBitstream(name="dark")
+        repo.add(bs)
+        assert repo.get("dark") is bs
+        assert "dark" in repo
+
+    def test_duplicate_rejected(self):
+        repo = BitstreamRepository()
+        repo.add(PartialBitstream(name="dark"))
+        with pytest.raises(BitstreamError):
+            repo.add(PartialBitstream(name="dark"))
+
+    def test_missing_raises_with_inventory(self):
+        repo = BitstreamRepository()
+        repo.add(PartialBitstream(name="dark"))
+        with pytest.raises(BitstreamError, match="dark"):
+            repo.get("day_dusk")
+
+    def test_paper_repository(self):
+        repo = paper_bitstreams()
+        assert repo.names() == ["dark", "day_dusk"]
+        assert repo.get("dark").size_bytes == PAPER_PARTIAL_BITSTREAM_BYTES

@@ -1,0 +1,129 @@
+"""Tests for repro.zynq.bus: link timing, calibration, contention."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BusError
+from repro.zynq.bus import (
+    GP_PORT_LITE,
+    HP_PORT,
+    ICAP_PORT,
+    PL_DDR_PORT,
+    PS_CENTRAL_INTERCONNECT,
+    BusLink,
+    LinkSpec,
+    Path,
+)
+from repro.zynq.events import Simulator
+
+
+class TestCalibration:
+    """Effective bandwidths must match Section IV-A of the paper."""
+
+    def test_pcap_path(self):
+        assert PS_CENTRAL_INTERCONNECT.effective_bandwidth() / 1e6 == pytest.approx(145.0, abs=2.0)
+
+    def test_hwicap_path(self):
+        assert GP_PORT_LITE.effective_bandwidth() / 1e6 == pytest.approx(19.0, abs=0.5)
+
+    def test_zycap_path(self):
+        assert HP_PORT.effective_bandwidth() / 1e6 == pytest.approx(382.0, abs=2.0)
+
+    def test_paper_path(self):
+        assert PL_DDR_PORT.effective_bandwidth() / 1e6 == pytest.approx(390.0, abs=2.0)
+
+    def test_icap_ceiling_400(self):
+        assert ICAP_PORT.peak_bandwidth / 1e6 == pytest.approx(400.0)
+
+    def test_ranking(self):
+        assert (
+            PL_DDR_PORT.effective_bandwidth()
+            > HP_PORT.effective_bandwidth()
+            > PS_CENTRAL_INTERCONNECT.effective_bandwidth()
+            > GP_PORT_LITE.effective_bandwidth()
+        )
+
+
+class TestLinkSpec:
+    def test_transfer_time_zero_bytes(self):
+        assert ICAP_PORT.transfer_time(0) == 0.0
+
+    def test_transfer_time_linear_in_bytes(self):
+        t1 = HP_PORT.transfer_time(1_000_000)
+        t2 = HP_PORT.transfer_time(2_000_000)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_overhead_hurts_short_bursts(self):
+        long_burst = HP_PORT.transfer_time(1_000_000, burst_beats=256)
+        short_burst = HP_PORT.transfer_time(1_000_000, burst_beats=4)
+        assert short_burst > long_burst
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(BusError):
+            HP_PORT.transfer_time(-1)
+
+    def test_rejects_invalid_spec(self):
+        with pytest.raises(BusError):
+            LinkSpec("bad", clock_hz=0.0)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=4, max_value=10**7))
+    def test_effective_bandwidth_below_peak(self, n_bytes):
+        t = HP_PORT.transfer_time(n_bytes)
+        assert n_bytes / t <= HP_PORT.peak_bandwidth + 1e-6
+
+
+class TestBusLink:
+    def test_single_transfer_completes(self, simulator):
+        link = BusLink(simulator, HP_PORT)
+        done = []
+        link.request(4000, on_done=lambda: done.append(simulator.now))
+        simulator.run()
+        assert len(done) == 1
+        assert done[0] == pytest.approx(HP_PORT.transfer_time(4000))
+
+    def test_fifo_serialisation(self, simulator):
+        link = BusLink(simulator, HP_PORT)
+        done = []
+        link.request(4000, on_done=lambda: done.append(("a", simulator.now)))
+        link.request(4000, on_done=lambda: done.append(("b", simulator.now)))
+        simulator.run()
+        assert done[0][0] == "a"
+        assert done[1][1] == pytest.approx(2 * done[0][1])
+
+    def test_contention_delays_second_master(self, simulator):
+        # A long transfer queued first delays a short one — the HP-port
+        # contention story behind the paper's PR-controller placement.
+        link = BusLink(simulator, HP_PORT)
+        times = {}
+        link.request(8_000_000, on_done=lambda: times.setdefault("bitstream", simulator.now))
+        link.request(4_000, on_done=lambda: times.setdefault("frame", simulator.now))
+        simulator.run()
+        assert times["frame"] > times["bitstream"]
+
+    def test_statistics(self, simulator):
+        link = BusLink(simulator, HP_PORT)
+        link.request(1024, on_done=lambda: None)
+        link.request(2048, on_done=lambda: None)
+        simulator.run()
+        assert link.bytes_moved == 3072
+        assert link.jobs_completed == 2
+        assert link.busy_time > 0
+
+
+class TestPath:
+    def test_bottleneck_selection(self):
+        path = Path("pcap", [PS_CENTRAL_INTERCONNECT, ICAP_PORT])
+        assert path.bottleneck().name == "ps-central-interconnect"
+
+    def test_transfer_time_dominated_by_bottleneck(self):
+        path = Path("pcap", [PS_CENTRAL_INTERCONNECT, ICAP_PORT])
+        t_path = path.transfer_time(8_000_000)
+        t_slow = PS_CENTRAL_INTERCONNECT.transfer_time(8_000_000)
+        assert t_path == pytest.approx(t_slow, rel=0.01)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(BusError):
+            Path("x", [])

@@ -1,0 +1,100 @@
+"""Tests for repro.zynq.events: the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.zynq.events import Simulator, Trace
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, simulator):
+        order = []
+        simulator.schedule(2.0, lambda: order.append("b"))
+        simulator.schedule(1.0, lambda: order.append("a"))
+        simulator.schedule(3.0, lambda: order.append("c"))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self, simulator):
+        order = []
+        simulator.schedule(1.0, lambda: order.append("first"))
+        simulator.schedule(1.0, lambda: order.append("second"))
+        simulator.run()
+        assert order == ["first", "second"]
+
+    def test_now_advances(self, simulator):
+        times = []
+        simulator.schedule(0.5, lambda: times.append(simulator.now))
+        simulator.schedule(1.5, lambda: times.append(simulator.now))
+        simulator.run()
+        assert times == [0.5, 1.5]
+
+    def test_nested_scheduling(self, simulator):
+        seen = []
+
+        def outer():
+            seen.append(simulator.now)
+            simulator.schedule(1.0, lambda: seen.append(simulator.now))
+
+        simulator.schedule(1.0, outer)
+        simulator.run()
+        assert seen == [1.0, 2.0]
+
+    def test_rejects_negative_delay(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(-0.1, lambda: None)
+
+    def test_cancel(self, simulator):
+        fired = []
+        handle = simulator.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_stops_at_time(self, simulator):
+        seen = []
+        simulator.schedule(1.0, lambda: seen.append(1))
+        simulator.schedule(5.0, lambda: seen.append(5))
+        simulator.run_until(2.0)
+        assert seen == [1]
+        assert simulator.now == 2.0
+        simulator.run()
+        assert seen == [1, 5]
+
+    def test_run_until_rejects_backwards(self, simulator):
+        simulator.run_until(3.0)
+        with pytest.raises(SimulationError):
+            simulator.run_until(1.0)
+
+    def test_runaway_guard(self, simulator):
+        def rearm():
+            simulator.schedule(0.001, rearm)
+
+        simulator.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            simulator.run(max_events=1000)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_arbitrary_delays_processed_in_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestTrace:
+    def test_log_and_filter(self):
+        trace = Trace()
+        trace.log(0.0, "dma", "start")
+        trace.log(1.0, "icap", "busy")
+        trace.log(2.0, "dma", "done")
+        assert len(trace) == 3
+        assert [r.message for r in trace.from_source("dma")] == ["start", "done"]

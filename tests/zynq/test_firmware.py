@@ -1,0 +1,95 @@
+"""Tests for repro.zynq.firmware: the PS driver state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.zynq.firmware import DetectionFirmware
+from repro.zynq.soc import ZynqSoC
+
+
+@pytest.fixture()
+def fw_soc():
+    soc = ZynqSoC()
+    return soc, DetectionFirmware(soc)
+
+
+class TestFramePath:
+    def test_single_frame_completes_via_isr(self, fw_soc):
+        soc, fw = fw_soc
+        assert fw.queue_frame("pedestrian")
+        soc.sim.run()
+        stats = fw.stats["pedestrian"]
+        assert stats.frames_queued == 1
+        assert stats.frames_started == 1
+        assert stats.frames_completed == 1
+
+    def test_queue_drains_in_order(self, fw_soc):
+        soc, fw = fw_soc
+        for _ in range(3):
+            assert fw.queue_frame("vehicle")
+        soc.sim.run()
+        assert fw.stats["vehicle"].frames_completed == 3
+
+    def test_queue_overflow_rejected(self, fw_soc):
+        soc, fw = fw_soc
+        results = [fw.queue_frame("pedestrian") for _ in range(6)]
+        # depth 3 + 1 issued immediately; at least one rejection.
+        assert not all(results)
+        assert fw.stats["pedestrian"].frames_rejected >= 1
+
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(SimulationError):
+            DetectionFirmware(ZynqSoC(), queue_depth=0)
+
+    def test_dma_error_recovery(self, fw_soc):
+        soc, fw = fw_soc
+        soc.ped_in_dma.inject_error()
+        fw.queue_frame("pedestrian")
+        fw.queue_frame("pedestrian")
+        soc.sim.run()
+        stats = fw.stats["pedestrian"]
+        assert stats.dma_errors == 1
+        # The second frame still completes after the ISR resets the engine.
+        assert stats.frames_completed >= 1
+
+
+class TestReconfigPath:
+    def test_reconfiguration_completes(self, fw_soc):
+        soc, fw = fw_soc
+        fw.request_reconfiguration("dark")
+        soc.sim.run()
+        assert fw.stats["vehicle"].reconfigs_completed == 1
+        assert soc.vehicle.configuration == "dark"
+
+    def test_second_request_defers_not_faults(self, fw_soc):
+        soc, fw = fw_soc
+        fw.request_reconfiguration("dark")
+        fw.request_reconfiguration("day_dusk")  # arrives mid-PR
+        soc.sim.run()
+        stats = fw.stats["vehicle"]
+        assert stats.reconfigs_requested == 2
+        assert stats.reconfigs_deferred == 1
+        assert stats.reconfigs_completed == 2
+        assert soc.vehicle.configuration == "day_dusk"
+
+    def test_vehicle_frames_resume_after_reconfig(self, fw_soc):
+        soc, fw = fw_soc
+        fw.request_reconfiguration("dark")
+        # Frames queued during the PR window; the partition drops what it
+        # must and the stream resumes afterwards.
+        for i in range(3):
+            soc.sim.schedule(0.002 + i * 0.02, lambda: fw.queue_frame("vehicle"))
+        soc.sim.run()
+        stats = fw.stats["vehicle"]
+        assert stats.frames_completed >= 1
+        assert soc.vehicle.configuration == "dark"
+
+    def test_pedestrian_unaffected_by_reconfig(self, fw_soc):
+        soc, fw = fw_soc
+        fw.request_reconfiguration("dark")
+        soc.sim.schedule(0.005, lambda: fw.queue_frame("pedestrian"))
+        soc.sim.run()
+        assert fw.stats["pedestrian"].frames_completed == 1
+        assert fw.stats["pedestrian"].frames_rejected == 0

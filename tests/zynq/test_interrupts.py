@@ -1,0 +1,64 @@
+"""Tests for repro.zynq.interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.zynq.events import Simulator
+from repro.zynq.interrupts import InterruptController
+
+
+class TestInterrupts:
+    def test_delivery_after_latency(self, simulator):
+        irq = InterruptController(simulator, latency_s=1e-6)
+        seen = []
+        irq.connect("dma.done", lambda name: seen.append((name, simulator.now)))
+        irq.raise_irq("dma.done")
+        simulator.run()
+        assert seen == [("dma.done", 1e-6)]
+
+    def test_count_accumulates(self, simulator):
+        irq = InterruptController(simulator)
+        irq.register("line")
+        irq.raise_irq("line")
+        simulator.run()
+        irq.raise_irq("line")
+        simulator.run()
+        assert irq.count("line") == 2
+
+    def test_pending_until_delivered(self, simulator):
+        irq = InterruptController(simulator, latency_s=1.0)
+        irq.raise_irq("x")
+        assert irq.pending_lines() == ["x"]
+        simulator.run()
+        assert irq.pending_lines() == []
+
+    def test_latched_line_coalesces_double_raise(self, simulator):
+        # Two raises before delivery latch into one delivery.
+        irq = InterruptController(simulator, latency_s=1.0)
+        seen = []
+        irq.connect("x", lambda name: seen.append(simulator.now))
+        irq.raise_irq("x")
+        irq.raise_irq("x")
+        simulator.run()
+        assert len(seen) == 1
+
+    def test_multiple_handlers(self, simulator):
+        irq = InterruptController(simulator)
+        seen = []
+        irq.connect("x", lambda name: seen.append("a"))
+        irq.connect("x", lambda name: seen.append("b"))
+        irq.raise_irq("x")
+        simulator.run()
+        assert seen == ["a", "b"]
+
+    def test_rejects_negative_latency(self, simulator):
+        with pytest.raises(SimulationError):
+            InterruptController(simulator, latency_s=-1.0)
+
+    def test_register_idempotent(self, simulator):
+        irq = InterruptController(simulator)
+        line1 = irq.register("x")
+        line2 = irq.register("x")
+        assert line1 is line2

@@ -1,0 +1,126 @@
+"""Tests for repro.zynq.pr: the four PR controllers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.zynq.bitstream import BitstreamRepository, PartialBitstream, paper_bitstreams
+from repro.zynq.events import Simulator, Trace
+from repro.zynq.interrupts import InterruptController
+from repro.zynq.pr import (
+    ALL_CONTROLLERS,
+    THEORETICAL_MAX_MB_S,
+    HwIcapController,
+    PaperPrController,
+    PcapController,
+    PrState,
+    ZycapController,
+)
+
+PAPER_NUMBERS = {
+    "pcap": 145.0,
+    "hwicap": 19.0,
+    "zycap": 382.0,
+    "paper-pr": 390.0,
+}
+
+
+def _controller(cls, repo=None):
+    sim = Simulator()
+    irq = InterruptController(sim)
+    return sim, cls(sim, irq, repo or paper_bitstreams(), Trace())
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("cls", ALL_CONTROLLERS)
+    def test_matches_paper_within_5pct(self, cls):
+        sim, ctrl = _controller(cls)
+        report = ctrl.reconfigure("dark")
+        sim.run()
+        expected = PAPER_NUMBERS[cls.name]
+        assert report.throughput_mb_s == pytest.approx(expected, rel=0.05)
+
+    def test_paper_controller_fastest(self):
+        speeds = {}
+        for cls in ALL_CONTROLLERS:
+            sim, ctrl = _controller(cls)
+            ctrl.reconfigure("dark")
+            sim.run()
+            speeds[cls.name] = ctrl.reports[-1].throughput_mb_s
+        assert speeds["paper-pr"] == max(speeds.values())
+        assert speeds["paper-pr"] / speeds["pcap"] >= 2.6
+
+    def test_all_below_theoretical_max(self):
+        for cls in ALL_CONTROLLERS:
+            sim, ctrl = _controller(cls)
+            ctrl.reconfigure("dark")
+            sim.run()
+            assert ctrl.reports[-1].throughput_mb_s <= THEORETICAL_MAX_MB_S
+
+    def test_paper_reconfig_time_about_20ms(self):
+        sim, ctrl = _controller(PaperPrController)
+        report = ctrl.reconfigure("dark")
+        sim.run()
+        assert report.duration_s * 1e3 == pytest.approx(20.5, abs=0.5)
+
+
+class TestSemantics:
+    def test_completion_interrupt_and_state(self):
+        sim, ctrl = _controller(PaperPrController)
+        assert ctrl.state is PrState.IDLE
+        ctrl.reconfigure("day_dusk")
+        assert ctrl.state is PrState.RECONFIGURING
+        sim.run()
+        assert ctrl.state is PrState.IDLE
+        assert ctrl.active_configuration == "day_dusk"
+        assert ctrl.interrupts.count(ctrl.irq_line) == 1
+
+    def test_reconfigure_during_reconfigure_rejected(self):
+        sim, ctrl = _controller(PaperPrController)
+        ctrl.reconfigure("dark")
+        with pytest.raises(ReconfigurationError):
+            ctrl.reconfigure("day_dusk")
+
+    def test_missing_bitstream_rejected(self):
+        sim, ctrl = _controller(PaperPrController)
+        with pytest.raises(Exception):
+            ctrl.reconfigure("nonexistent")
+
+    def test_corrupt_bitstream_rejected_before_icap(self):
+        repo = BitstreamRepository()
+        bs = PartialBitstream(name="dark")
+        bs.corrupt()
+        repo.add(bs)
+        sim, ctrl = _controller(PaperPrController, repo)
+        with pytest.raises(ReconfigurationError, match="integrity"):
+            ctrl.reconfigure("dark")
+        assert ctrl.state is PrState.IDLE
+        assert ctrl.reports[-1].ok is False
+
+    def test_on_done_receives_report(self):
+        sim, ctrl = _controller(ZycapController)
+        received = []
+        ctrl.reconfigure("dark", on_done=received.append)
+        sim.run()
+        assert len(received) == 1
+        assert received[0].ok
+
+    def test_only_zycap_occupies_hp_port(self):
+        occupancy = {}
+        for cls in ALL_CONTROLLERS:
+            _, ctrl = _controller(cls)
+            occupancy[cls.name] = ctrl.occupies_hp_port()
+        assert occupancy == {
+            "pcap": False,
+            "hwicap": False,
+            "zycap": True,
+            "paper-pr": False,
+        }
+
+    def test_back_to_back_reconfigurations(self):
+        sim, ctrl = _controller(PaperPrController)
+        ctrl.reconfigure("dark", on_done=lambda r: ctrl.reconfigure("day_dusk"))
+        sim.run()
+        assert len(ctrl.reports) == 2
+        assert ctrl.active_configuration == "day_dusk"

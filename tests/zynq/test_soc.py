@@ -1,0 +1,107 @@
+"""Tests for repro.zynq.soc: the Fig. 6 system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReconfigurationError
+from repro.zynq.pr import PaperPrController, ZycapController
+from repro.zynq.soc import FRAME_BYTES, ZynqSoC
+
+
+class TestFrameFlow:
+    def test_both_detectors_process(self, soc):
+        assert soc.submit_frame("pedestrian")
+        assert soc.submit_frame("vehicle")
+        soc.sim.run()
+        assert soc.pedestrian.frames_processed == 1
+        assert soc.vehicle.frames_processed == 1
+
+    def test_dma_interrupts_per_frame(self, soc):
+        soc.submit_frame("pedestrian")
+        soc.sim.run()
+        assert soc.interrupts.count(soc.ped_in_dma.irq_line) == 1
+        assert soc.interrupts.count(soc.ped_out_dma.irq_line) == 1
+
+    def test_frame_bytes_flow_over_hp0(self, soc):
+        soc.submit_frame("pedestrian")
+        soc.sim.run()
+        assert soc.hp0.bytes_moved >= FRAME_BYTES
+
+    def test_back_to_back_frames_at_50fps_not_dropped(self, soc):
+        period = 1.0 / 50.0
+        results = []
+        for i in range(5):
+            soc.sim.schedule(i * period, lambda: results.append(soc.submit_frame("vehicle")))
+        soc.sim.run()
+        assert all(results)
+        assert soc.vehicle.frames_dropped == 0
+
+    def test_unknown_detector_rejected(self, soc):
+        with pytest.raises(Exception):
+            soc.submit_frame("bicycle")
+
+
+class TestReconfiguration:
+    def test_vehicle_down_during_pr_pedestrian_up(self, soc):
+        soc.reconfigure_vehicle("dark")
+        # Mid-reconfiguration: vehicle frames dropped, pedestrian fine.
+        outcomes = {}
+
+        def probe():
+            outcomes["vehicle"] = soc.submit_frame("vehicle")
+            outcomes["pedestrian"] = soc.submit_frame("pedestrian")
+
+        soc.sim.schedule(0.005, probe)
+        soc.sim.run()
+        assert outcomes == {"vehicle": False, "pedestrian": True}
+        assert soc.vehicle.frames_dropped == 1
+        assert soc.pedestrian.frames_dropped == 0
+
+    def test_configuration_updated_after_pr(self, soc):
+        assert soc.vehicle.configuration == "day_dusk"
+        soc.reconfigure_vehicle("dark")
+        soc.sim.run()
+        assert soc.vehicle.configuration == "dark"
+        assert soc.vehicle.available
+
+    def test_double_reconfigure_rejected(self, soc):
+        soc.reconfigure_vehicle("dark")
+        with pytest.raises(ReconfigurationError):
+            soc.reconfigure_vehicle("day_dusk")
+
+    def test_model_swap_blocked_during_pr(self, soc):
+        soc.reconfigure_vehicle("dark")
+        with pytest.raises(ReconfigurationError):
+            soc.swap_vehicle_model("dusk")
+
+    def test_model_swap_is_instant(self, soc):
+        t0 = soc.sim.now
+        soc.swap_vehicle_model("dusk")
+        assert soc.sim.now == t0
+        assert soc.vehicle.available
+
+    def test_reconfig_report_in_stats(self, soc):
+        soc.reconfigure_vehicle("dark")
+        soc.sim.run()
+        stats = soc.stats()
+        assert len(stats["reconfigurations"]) == 1
+        assert stats["reconfigurations"][0]["throughput_mb_s"] == pytest.approx(390.0, rel=0.02)
+
+
+class TestContention:
+    def test_zycap_reconfig_delays_pedestrian_frames(self):
+        def frame_latency(cls) -> float:
+            soc = ZynqSoC(controller_cls=cls)
+            finish = []
+            soc.reconfigure_vehicle("dark")
+            soc.sim.schedule(
+                0.001,
+                lambda: soc.submit_frame("pedestrian", on_result=lambda: finish.append(soc.sim.now)),
+            )
+            soc.sim.run()
+            return finish[0] - 0.001
+
+        paper = frame_latency(PaperPrController)
+        zycap = frame_latency(ZycapController)
+        assert zycap > paper + 0.005  # ZyCAP blocks HP0 for most of the PR
