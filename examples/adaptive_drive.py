@@ -6,7 +6,13 @@ BRAM-resident SVM model instantly; dusk <-> dark partially reconfigures the
 vehicle partition through the paper's PR controller (~20 ms, one dropped
 frame at 50 fps) while pedestrian detection never misses a frame.
 
+With ``--fault-plan`` the same drive runs under a canned fault scenario
+(see FAULTS.md): DMA aborts, corrupt bitstreams, PR watchdog timeouts,
+sensor blackouts, detector exceptions — while the pedestrian partition
+still processes every frame.
+
 Run:  python examples/adaptive_drive.py [--trace sunset|tunnel|urban]
+                                        [--fault-plan worst_case|...]
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import argparse
 
 from repro.adaptive import sunset_trace, tunnel_trace, urban_evening_trace
 from repro.core import AdaptiveDetectionSystem
+from repro.faults import SCENARIOS, get_scenario
 
 
 TRACES = {
@@ -27,12 +34,23 @@ TRACES = {
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", choices=sorted(TRACES), default="sunset")
+    parser.add_argument(
+        "--fault-plan",
+        choices=sorted(SCENARIOS) + ["none"],
+        default="none",
+        help="canned fault scenario to inject during the drive",
+    )
     args = parser.parse_args()
 
     trace = TRACES[args.trace]()
-    system = AdaptiveDetectionSystem()
+    plan = None
+    if args.fault_plan != "none":
+        plan = get_scenario(args.fault_plan, duration_s=trace.duration)
+    system = AdaptiveDetectionSystem(fault_plan=plan)
     print(f"=== Driving the '{args.trace}' illuminance trace "
-          f"({trace.duration:.0f} s at 50 fps) ===\n")
+          f"({trace.duration:.0f} s at 50 fps"
+          + (f", fault plan '{args.fault_plan}'" if plan else "")
+          + ") ===\n")
     report = system.run_drive(trace)
 
     print("timeline:")
@@ -61,6 +79,18 @@ def main() -> None:
           f"({summary['drops_per_reconfiguration']:.1f} per reconfiguration)")
     print(f"  pedestrian frames dropped:  {summary['pedestrian_dropped']} "
           f"(the static partition never stops)")
+
+    if plan is not None:
+        print("\nfault audit:")
+        print(f"  fault firings:              {plan.firings()}")
+        print(f"  frames with fault events:   {summary['frames_with_faults']}")
+        print(f"  frames degraded (fallback): {summary['frames_degraded']}")
+        print(f"  failed reconfigurations:    {summary['failed_reconfigurations']}")
+        for event in report.degradations:
+            print(f"    t={event.time_s:7.2f}s  {event.label()}")
+        ped_ok = all(f.pedestrian_accepted for f in report.frames)
+        print(f"  pedestrian partition:       "
+              f"{'processed 100% of frames' if ped_ok else 'DROPPED FRAMES (BUG)'}")
 
     # Condition occupancy.
     occupancy: dict[str, int] = {}

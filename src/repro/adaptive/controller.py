@@ -25,12 +25,18 @@ class ControllerConfig:
         hysteresis: Relative band half-width; a boundary at B switches down
             at B/(1+h) and up at B*(1+h).
         min_dwell_s: Minimum seconds in a condition before switching again.
+        confirm_samples: Consecutive samples that must agree before a
+            switch is taken.  1 (default) switches on the first qualifying
+            sample; higher values reject single-sample sensor glitches
+            (spikes) at the cost of one sample period of extra latency per
+            extra confirmation.
     """
 
     day_dusk_lux: float = DUSK_LUX_UPPER
     dusk_dark_lux: float = DARK_LUX_UPPER
     hysteresis: float = 0.3
     min_dwell_s: float = 2.0
+    confirm_samples: int = 1
 
     def __post_init__(self) -> None:
         if self.dusk_dark_lux <= 0 or self.day_dusk_lux <= self.dusk_dark_lux:
@@ -42,6 +48,10 @@ class ControllerConfig:
             raise ConfigurationError(f"hysteresis must be >= 0, got {self.hysteresis}")
         if self.min_dwell_s < 0:
             raise ConfigurationError(f"min_dwell_s must be >= 0, got {self.min_dwell_s}")
+        if self.confirm_samples < 1:
+            raise ConfigurationError(
+                f"confirm_samples must be >= 1, got {self.confirm_samples}"
+            )
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,8 @@ class LightingController:
         self.condition = initial
         self.last_change_s = float("-inf")
         self.history: list[ConditionChange] = []
+        self._candidate: LightingCondition | None = None
+        self._candidate_count = 0
 
     def _raw_condition(self, lux: float) -> LightingCondition:
         cfg = self.config
@@ -77,6 +89,10 @@ class LightingController:
         if lux >= cfg.dusk_dark_lux:
             return LightingCondition.DUSK
         return LightingCondition.DARK
+
+    def _reset_confirmation(self) -> None:
+        self._candidate = None
+        self._candidate_count = 0
 
     def _boundary(self, lower: LightingCondition) -> float:
         """Boundary lux between ``lower`` and the condition above it."""
@@ -101,20 +117,32 @@ class LightingController:
         target = self._raw_condition(lux)
         target_idx = _ORDER.index(target)
         if target_idx == current_idx:
+            self._reset_confirmation()
             return None
         h = cfg.hysteresis
         if target_idx < current_idx:
             # Getting darker: cross the lower boundary with margin.
             boundary = self._boundary(_ORDER[current_idx - 1])
             if lux >= boundary / (1.0 + h):
+                self._reset_confirmation()
                 return None
             new_condition = _ORDER[current_idx - 1]
         else:
             # Getting brighter: cross the upper boundary with margin.
             boundary = self._boundary(_ORDER[current_idx])
             if lux <= boundary * (1.0 + h):
+                self._reset_confirmation()
                 return None
             new_condition = _ORDER[current_idx + 1]
+        if cfg.confirm_samples > 1:
+            if self._candidate is new_condition:
+                self._candidate_count += 1
+            else:
+                self._candidate = new_condition
+                self._candidate_count = 1
+            if self._candidate_count < cfg.confirm_samples:
+                return None
+        self._reset_confirmation()
         change = ConditionChange(
             time_s=time_s, previous=self.condition, new=new_condition, lux=lux
         )

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, FaultSite
 
 
 @dataclass(frozen=True)
@@ -127,12 +128,15 @@ class LightSensor:
         dropout_probability: Chance a sample is lost (returns the last
             reading — sensors hold their register on a missed conversion).
         seed: RNG seed.
+        faults: Optional fault plan; SENSOR_DROPOUT windows hold the last
+            register, SENSOR_SPIKE windows return the spec's magnitude lux.
     """
 
     trace: LuxTrace
     noise_rel: float = 0.05
     dropout_probability: float = 0.0
     seed: int = 0
+    faults: FaultPlan | None = None
     _rng: np.random.Generator = field(init=False, repr=False)
     _last: float = field(init=False, repr=False)
 
@@ -148,6 +152,14 @@ class LightSensor:
 
     def read(self, time_s: float) -> float:
         """One noisy sensor sample at ``time_s`` (lux)."""
+        if self.faults is not None:
+            if self.faults.fire(FaultSite.SENSOR_DROPOUT, "sensor", time_s) is not None:
+                return self._last
+            spike = self.faults.fire(FaultSite.SENSOR_SPIKE, "sensor", time_s)
+            if spike is not None:
+                # A glitched conversion: reported, but the held register is
+                # not poisoned, so recovery is immediate.
+                return float(spike.magnitude)
         if self.dropout_probability and self._rng.random() < self.dropout_probability:
             return self._last
         truth = self.trace.lux_at(time_s)

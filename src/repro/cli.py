@@ -8,6 +8,7 @@
     python -m repro latency              # Section IV-B drive + drops
     python -m repro fig1|fig2|fig4|fig5|fig6|fig7|fps
     python -m repro ablations            # all five ablations
+    python -m repro drive [--trace T] [--duration D] [--fault-plan P]
     python -m repro all [--scale S]      # everything, in paper order
 """
 
@@ -120,6 +121,39 @@ def _tracking(args) -> str:
     return result.render() + f"\nshape checks: {result.shape_checks()}"
 
 
+def _drive(args) -> str:
+    from repro.adaptive.sensor import sunset_trace, tunnel_trace, urban_evening_trace
+    from repro.core.system import AdaptiveDetectionSystem
+    from repro.faults.scenarios import get_scenario
+
+    traces = {
+        "sunset": sunset_trace,
+        "tunnel": tunnel_trace,
+        "urban": urban_evening_trace,
+    }
+    trace = traces[args.trace](duration_s=args.duration)
+    plan = None
+    if args.fault_plan != "none":
+        plan = get_scenario(args.fault_plan, duration_s=args.duration)
+    system = AdaptiveDetectionSystem(fault_plan=plan)
+    report = system.run_drive(trace)
+    summary = report.summary()
+    lines = [f"drive: trace={args.trace} duration={args.duration:.0f}s "
+             f"fault-plan={args.fault_plan}"]
+    for key, value in summary.items():
+        if key == "reconfig_ms":
+            value = ", ".join(f"{v:.1f}" for v in value) or "-"
+        lines.append(f"  {key:<26} {value}")
+    if plan is not None:
+        lines.append(f"  fault firings:             {plan.firings()}")
+        for event in report.degradations:
+            lines.append(f"    t={event.time_s:7.2f}s  {event.label()}")
+    ped_ok = all(f.pedestrian_accepted for f in report.frames)
+    lines.append(f"  pedestrian partition:      "
+                 f"{'100% of frames processed' if ped_ok else 'DROPPED FRAMES'}")
+    return "\n".join(lines)
+
+
 def _ablations(args) -> str:
     from repro.experiments.ablations import (
         run_contention,
@@ -156,6 +190,7 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
     "resources": (_resources, "Block-level resource breakdown of every design"),
     "adaptive": (_adaptive, "Extension: adaptive vs fixed pipelines end to end"),
     "tracking": (_tracking, "Extension: temporal tracking on dark sequences"),
+    "drive": (_drive, "Adaptive drive on the SoC model (supports --fault-plan)"),
 }
 
 
@@ -174,6 +209,32 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=1.0,
         help="corpus scale for accuracy experiments (1.0 = paper sizes)",
+    )
+    parser.add_argument(
+        "--trace",
+        choices=["sunset", "tunnel", "urban"],
+        default="sunset",
+        help="illuminance trace for the drive command",
+    )
+    def positive_seconds(value: str) -> float:
+        seconds = float(value)
+        if seconds <= 0:
+            raise argparse.ArgumentTypeError(f"duration must be positive, got {value}")
+        return seconds
+
+    parser.add_argument(
+        "--duration",
+        type=positive_seconds,
+        default=60.0,
+        help="drive duration in seconds (drive command)",
+    )
+    from repro.faults.scenarios import SCENARIOS
+
+    parser.add_argument(
+        "--fault-plan",
+        choices=sorted(SCENARIOS) + ["none"],
+        default="none",
+        help="canned fault scenario for the drive command",
     )
     args = parser.parse_args(argv)
 

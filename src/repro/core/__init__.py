@@ -8,6 +8,7 @@ from repro.core.functional import (
 from repro.core.system import (
     MODEL_FOR_CONDITION,
     AdaptiveDetectionSystem,
+    DegradationPolicy,
     DriveReport,
     FrameRecord,
     SystemConfig,
@@ -16,6 +17,7 @@ from repro.core.system import (
 __all__ = [
     "AdaptiveDetectionSystem",
     "AdaptiveVehicleDetector",
+    "DegradationPolicy",
     "FrameResult",
     "FunctionalConfig",
     "DriveReport",

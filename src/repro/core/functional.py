@@ -20,6 +20,7 @@ from repro.adaptive.controller import ControllerConfig, LightingController
 from repro.adaptive.policy import SwitchKind, VehicleConfigurationId, plan_switch
 from repro.datasets.lighting import LightingCondition
 from repro.errors import ConfigurationError, PipelineError
+from repro.faults.plan import FaultPlan, FaultSite
 from repro.ml.linear import LinearModel
 from repro.pipelines.base import Detection
 from repro.pipelines.dark import DarkVehicleDetector
@@ -28,13 +29,19 @@ from repro.pipelines.day_dusk import DayDuskConfig, HogSvmVehicleDetector
 
 @dataclass
 class FrameResult:
-    """Outcome of one functional frame."""
+    """Outcome of one functional frame.
+
+    ``degraded`` marks frames where the active pipeline raised (or a fault
+    plan injected an exception) and the detector fell back to reporting no
+    detections instead of crashing the stream.
+    """
 
     time_s: float
     condition: LightingCondition
     active_pipeline: str
     detections: list[Detection]
     reconfiguring: bool
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,7 @@ class AdaptiveVehicleDetector:
         config: FunctionalConfig | None = None,
         day_dusk_config: DayDuskConfig | None = None,
         initial: LightingCondition = LightingCondition.DAY,
+        fault_plan: FaultPlan | None = None,
     ):
         for required in ("day", "dusk"):
             if required not in condition_models:
@@ -80,8 +88,10 @@ class AdaptiveVehicleDetector:
         }
         self._dark = dark_detector
         self.controller = LightingController(self.config.controller, initial=initial)
+        self.fault_plan = fault_plan
         self._blind_until = float("-inf")
         self.results: list[FrameResult] = []
+        self.degraded_frames = 0
 
     @property
     def condition(self) -> LightingCondition:
@@ -107,22 +117,37 @@ class AdaptiveVehicleDetector:
                 self._blind_until = time_s + self.config.reconfiguration_s
         reconfiguring = time_s < self._blind_until
         condition = self.controller.condition
+        degraded = False
         if reconfiguring:
             detections: list[Detection] = []
-        elif condition is LightingCondition.DARK:
-            detections = self._dark.detect(frame)
         else:
-            detector = self._hog[condition.value]
-            if self.config.multiscale:
-                detections = detector.detect_multiscale(frame)
-            else:
-                detections = detector.detect(frame)
+            try:
+                if self.fault_plan is not None and self.fault_plan.fire(
+                    FaultSite.PIPELINE_EXCEPTION, "vehicle", time_s
+                ):
+                    raise PipelineError(f"injected detector exception at t={time_s}")
+                if condition is LightingCondition.DARK:
+                    detections = self._dark.detect(frame)
+                else:
+                    detector = self._hog[condition.value]
+                    if self.config.multiscale:
+                        detections = detector.detect_multiscale(frame)
+                    else:
+                        detections = detector.detect(frame)
+            except PipelineError:
+                # Fail safe, not silent: report no detections for this
+                # frame rather than killing the stream, and mark the frame
+                # degraded so drives stay auditable.
+                detections = []
+                degraded = True
+                self.degraded_frames += 1
         result = FrameResult(
             time_s=time_s,
             condition=condition,
             active_pipeline=self.active_pipeline_name,
             detections=detections,
             reconfiguring=reconfiguring,
+            degraded=degraded,
         )
         self.results.append(result)
         return result

@@ -18,13 +18,56 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.adaptive.controller import ConditionChange, ControllerConfig, LightingController
-from repro.adaptive.policy import SwitchKind, plan_switch
+from repro.adaptive.policy import CONFIG_FOR_CONDITION, SwitchKind, plan_switch
 from repro.adaptive.sensor import LightSensor, LuxTrace
 from repro.datasets.lighting import LightingCondition
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReconfigurationError
+from repro.faults.plan import DegradationEvent, FaultPlan, FaultSite
 from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
 from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
 from repro.zynq.soc import ZynqSoC
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """How the system degrades when the reconfigurable side misbehaves.
+
+    The guiding rule is the paper's safety argument inverted: the static
+    pedestrian partition must stay correct no matter what, so every
+    recovery action below touches only the vehicle side.
+
+    Attributes:
+        max_reconfig_retries: Retries after a failed partial
+            reconfiguration before the system stays on the last-good image.
+        backoff_initial_s: First retry delay.
+        backoff_factor: Multiplier per subsequent retry.
+        backoff_max_s: Ceiling on the retry delay.
+        pr_timeout_s: Watchdog deadline for one reconfiguration attempt
+            (``None`` disables the watchdog).
+        repair_bitstreams: Re-stage a corrupt bitstream from flash before
+            retrying (models the PS reloading PL DDR).
+    """
+
+    max_reconfig_retries: int = 3
+    backoff_initial_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    pr_timeout_s: float | None = 0.1
+    repair_bitstreams: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_reconfig_retries < 0:
+            raise ConfigurationError("max_reconfig_retries must be >= 0")
+        if self.backoff_initial_s <= 0 or self.backoff_max_s <= 0:
+            raise ConfigurationError("backoff delays must be positive")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if self.pr_timeout_s is not None and self.pr_timeout_s <= 0:
+            raise ConfigurationError("pr_timeout_s must be positive or None")
+
+    def retry_delay_s(self, attempt: int) -> float:
+        """Bounded exponential backoff before retry ``attempt`` (1-based)."""
+        return min(self.backoff_max_s, self.backoff_initial_s * self.backoff_factor ** (attempt - 1))
 
 
 @dataclass(frozen=True)
@@ -37,6 +80,7 @@ class SystemConfig:
         controller_cls: PR controller driving the vehicle partition.
         sensor_period_s: Ambient sensor sampling period.
         initial_condition: Lighting condition at t=0.
+        degradation: Fault-recovery policy for the vehicle side.
     """
 
     fps: float = 50.0
@@ -44,17 +88,33 @@ class SystemConfig:
     controller_cls: type[BasePrController] = PaperPrController
     sensor_period_s: float = 0.1
     initial_condition: LightingCondition = LightingCondition.DAY
+    degradation: DegradationPolicy = field(default_factory=DegradationPolicy)
 
     def __post_init__(self) -> None:
         if self.fps <= 0:
             raise ConfigurationError(f"fps must be positive, got {self.fps}")
         if self.sensor_period_s <= 0:
             raise ConfigurationError("sensor period must be positive")
+        if not (
+            isinstance(self.controller_cls, type)
+            and issubclass(self.controller_cls, BasePrController)
+        ):
+            raise ConfigurationError(
+                "controller_cls must be a BasePrController subclass, got "
+                f"{self.controller_cls!r}"
+            )
 
 
 @dataclass
 class FrameRecord:
-    """Per-frame outcome of a drive."""
+    """Per-frame outcome of a drive.
+
+    ``faults`` carries the labels of every fault-injection and
+    degradation event that landed since the previous frame, so a drive's
+    frame sequence is a complete audit trail.  ``degraded`` marks frames
+    where the vehicle partition is up but running a configuration other
+    than the one the lighting condition calls for (a fallback in effect).
+    """
 
     index: int
     time_s: float
@@ -64,6 +124,8 @@ class FrameRecord:
     pedestrian_accepted: bool
     vehicle_configuration: str
     reconfiguring: bool
+    faults: tuple[str, ...] = ()
+    degraded: bool = False
 
 
 @dataclass
@@ -74,6 +136,7 @@ class DriveReport:
     condition_changes: list[ConditionChange] = field(default_factory=list)
     model_swaps: list[tuple[float, str]] = field(default_factory=list)
     reconfigurations: list[ReconfigReport] = field(default_factory=list)
+    degradations: list[DegradationEvent] = field(default_factory=list)
 
     @property
     def n_frames(self) -> int:
@@ -93,6 +156,18 @@ class DriveReport:
             return 0.0
         return self.vehicle_dropped / len(self.reconfigurations)
 
+    @property
+    def frames_degraded(self) -> int:
+        return sum(1 for f in self.frames if f.degraded)
+
+    @property
+    def frames_with_faults(self) -> int:
+        return sum(1 for f in self.frames if f.faults)
+
+    @property
+    def failed_reconfigurations(self) -> int:
+        return sum(1 for r in self.reconfigurations if not r.ok)
+
     def summary(self) -> dict:
         return {
             "frames": self.n_frames,
@@ -101,8 +176,12 @@ class DriveReport:
             "condition_changes": len(self.condition_changes),
             "model_swaps": len(self.model_swaps),
             "reconfigurations": len(self.reconfigurations),
+            "failed_reconfigurations": self.failed_reconfigurations,
             "drops_per_reconfiguration": self.drops_per_reconfiguration(),
             "reconfig_ms": [r.duration_s * 1e3 for r in self.reconfigurations],
+            "degradations": len(self.degradations),
+            "frames_degraded": self.frames_degraded,
+            "frames_with_faults": self.frames_with_faults,
         }
 
 
@@ -120,21 +199,32 @@ class AdaptiveDetectionSystem:
         self,
         config: SystemConfig | None = None,
         repository: BitstreamRepository | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.config = config or SystemConfig()
+        self.fault_plan = fault_plan
+        policy = self.config.degradation
         self.soc = ZynqSoC(
             controller_cls=self.config.controller_cls,
             repository=repository or paper_bitstreams(),
+            faults=fault_plan,
+            pr_timeout_s=policy.pr_timeout_s,
         )
         self.controller = LightingController(
             self.config.controller, initial=self.config.initial_condition
         )
         self.report = DriveReport()
+        self.soc.on_degradation = self.report.degradations.append
         self._pending_reconfig = False
 
     @property
     def condition(self) -> LightingCondition:
         return self.controller.condition
+
+    def _degrade(self, kind: str, detail: str = "") -> None:
+        self.report.degradations.append(
+            DegradationEvent(time_s=self.soc.sim.now, kind=kind, detail=detail)
+        )
 
     def _handle_change(self, change: ConditionChange) -> None:
         """Apply the switching policy for one condition change."""
@@ -142,18 +232,77 @@ class AdaptiveDetectionSystem:
         plan = plan_switch(change.previous, change.new)
         if plan.kind is SwitchKind.MODEL_SWAP:
             model = MODEL_FOR_CONDITION[change.new]
-            self.soc.swap_vehicle_model(model)
-            self.report.model_swaps.append((change.time_s, model))
+            try:
+                self.soc.swap_vehicle_model(model)
+            except ReconfigurationError:
+                # Partition busy: fall back to the last-good SVM model for
+                # now — a stale model still detects, a half-swapped one
+                # would not.
+                self._degrade(
+                    "model-swap-fallback",
+                    f"kept {self.soc.vehicle_model!r} (wanted {model!r})",
+                )
+            else:
+                self.report.model_swaps.append((change.time_s, model))
         elif plan.kind is SwitchKind.PARTIAL_RECONFIG:
             if self.soc.vehicle.available:
-                self.soc.reconfigure_vehicle(
-                    plan.target_configuration.value,
-                    on_done=self.report.reconfigurations.append,
-                )
+                self._start_reconfig(plan.target_configuration.value, attempt=1)
             else:
                 # A reconfiguration is in flight; the policy will re-trigger
                 # on the next change (the controller's dwell prevents storms).
                 self._pending_reconfig = True
+
+    # Reconfiguration with retry/backoff --------------------------------------
+
+    def _start_reconfig(self, configuration: str, attempt: int) -> None:
+        """One reconfiguration attempt; failures schedule bounded retries."""
+
+        def done(report: ReconfigReport) -> None:
+            report.attempt = attempt
+            self.report.reconfigurations.append(report)
+            if not report.ok:
+                self._schedule_retry(configuration, attempt, report.error)
+
+        try:
+            self.soc.reconfigure_vehicle(configuration, on_done=done)
+        except ReconfigurationError as exc:
+            # Synchronous rejection (integrity check): the failed report is
+            # already on the PR controller's list; fold it into the drive.
+            report = self.soc.pr.reports[-1]
+            report.attempt = attempt
+            self.report.reconfigurations.append(report)
+            self._schedule_retry(configuration, attempt, str(exc))
+
+    def _schedule_retry(self, configuration: str, attempt: int, error: str) -> None:
+        policy = self.config.degradation
+        if attempt > policy.max_reconfig_retries:
+            # Out of retries: stay on the last-good image.  Degraded — the
+            # active pipeline no longer matches the lighting — but alive.
+            self._degrade(
+                "reconfig-abandoned",
+                f"{configuration} failed {attempt}x; staying on "
+                f"{self.soc.vehicle.configuration}",
+            )
+            return
+        if policy.repair_bitstreams and not self.soc.repository.get(configuration).verify():
+            self.soc.repository.restage(configuration)
+            self._degrade("bitstream-repair", f"re-staged {configuration} from flash")
+        delay = policy.retry_delay_s(attempt)
+        self._degrade(
+            "reconfig-retry",
+            f"{configuration} attempt {attempt + 1} in {delay * 1e3:.0f} ms ({error})",
+        )
+
+        def retry() -> None:
+            if self.soc.vehicle.configuration == configuration:
+                return  # another path already brought the image up
+            if not self.soc.vehicle.available:
+                # A competing reconfiguration is in flight; let it finish.
+                self._degrade("reconfig-retry-skipped", f"{configuration}: partition busy")
+                return
+            self._start_reconfig(configuration, attempt + 1)
+
+        self.soc.sim.schedule(delay, retry)
 
     def run_drive(self, trace: LuxTrace, duration_s: float | None = None, sensor: LightSensor | None = None) -> DriveReport:
         """Drive the system over a lux trace; returns the full report."""
@@ -161,16 +310,31 @@ class AdaptiveDetectionSystem:
             duration_s = trace.duration
         if duration_s <= 0:
             raise ConfigurationError("drive duration must be positive")
-        sensor = sensor or LightSensor(trace, noise_rel=0.03)
+        sensor = sensor or LightSensor(trace, noise_rel=0.03, faults=self.fault_plan)
         frame_period = 1.0 / self.config.fps
         n_frames = int(duration_s * self.config.fps)
         sim = self.soc.sim
+        fault_plan = self.fault_plan
+        fault_cursor = len(fault_plan.events) if fault_plan is not None else 0
+        degrade_cursor = len(self.report.degradations)
         next_sensor_t = 0.0
         lux = sensor.read(0.0)
         for i in range(n_frames):
             t = i * frame_period
             sim.run_until(t)
-            veh_ok = self.soc.submit_frame("vehicle")
+            # A detector exception on the vehicle accelerator costs that
+            # frame: the partition's per-frame watchdog flushes the pipeline
+            # and the stream resumes on the next tick.  The static
+            # pedestrian partition is never consulted — it cannot be made
+            # to skip a frame.
+            if fault_plan is not None and fault_plan.fire(
+                FaultSite.PIPELINE_EXCEPTION, "vehicle", t
+            ):
+                veh_ok = False
+                self.soc.vehicle.frames_dropped += 1
+                self._degrade("detector-flush", f"vehicle pipeline flushed at frame {i}")
+            else:
+                veh_ok = self.soc.submit_frame("vehicle")
             ped_ok = self.soc.submit_frame("pedestrian")
             # Sensor + controller at their own (slower) cadence; the light
             # sensor is asynchronous to the frame clock, so its samples land
@@ -181,6 +345,15 @@ class AdaptiveDetectionSystem:
                 if change is not None:
                     self._handle_change(change)
                 next_sensor_t += self.config.sensor_period_s
+            # Fold every fault/degradation event since the last frame into
+            # this frame's audit trail.
+            labels: list[str] = []
+            if fault_plan is not None:
+                labels += [e.label() for e in fault_plan.events[fault_cursor:]]
+                fault_cursor = len(fault_plan.events)
+            labels += [d.label() for d in self.report.degradations[degrade_cursor:]]
+            degrade_cursor = len(self.report.degradations)
+            expected_config = CONFIG_FOR_CONDITION[self.controller.condition].value
             self.report.frames.append(
                 FrameRecord(
                     index=i,
@@ -191,6 +364,11 @@ class AdaptiveDetectionSystem:
                     pedestrian_accepted=ped_ok,
                     vehicle_configuration=self.soc.vehicle.configuration or "",
                     reconfiguring=not self.soc.vehicle.available,
+                    faults=tuple(labels),
+                    degraded=(
+                        self.soc.vehicle.available
+                        and self.soc.vehicle.configuration != expected_config
+                    ),
                 )
             )
         sim.run_until(duration_s + 0.1)

@@ -71,3 +71,7 @@ class ReconfigurationError(HardwareError):
 
 class ConfigurationError(ReproError):
     """A system-level configuration object is inconsistent."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan is malformed or was driven inconsistently."""

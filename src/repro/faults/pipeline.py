@@ -1,0 +1,53 @@
+"""Fault-injecting wrapper around any :class:`DetectionPipeline`.
+
+Wraps a detector so that frames scheduled by a :class:`FaultPlan` raise
+:class:`PipelineError` instead of returning detections — the raw material
+for testing that callers degrade gracefully rather than crash the stream.
+The wrapper keeps its own frame clock (``frame_period_s`` per ``detect``
+call) so plans written in seconds apply to pipelines that only see frames.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.faults.plan import FaultPlan, FaultSite
+from repro.pipelines.base import Detection
+
+
+class FaultyPipeline:
+    """A DetectionPipeline proxy that raises on plan-scheduled frames."""
+
+    def __init__(
+        self,
+        inner,
+        plan: FaultPlan,
+        frame_period_s: float = 0.02,
+        target: str | None = None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.frame_period_s = frame_period_s
+        self.target = target or inner.name
+        self.name = inner.name
+        self.frames_seen = 0
+        self.frames_failed = 0
+
+    @property
+    def clock_s(self) -> float:
+        """Synthetic time of the next frame."""
+        return self.frames_seen * self.frame_period_s
+
+    def detect(self, frame: np.ndarray) -> list[Detection]:
+        t = self.clock_s
+        self.frames_seen += 1
+        if self.plan.fire(FaultSite.PIPELINE_EXCEPTION, self.target, t) is not None:
+            self.frames_failed += 1
+            raise PipelineError(
+                f"{self.name}: injected exception on frame {self.frames_seen - 1}"
+            )
+        return self.inner.detect(frame)
+
+    def classify_crop(self, crop: np.ndarray) -> tuple[bool, float]:
+        return self.inner.classify_crop(crop)

@@ -1,0 +1,135 @@
+"""Canned fault scenarios for drives, demos, and the smoke suite.
+
+Each factory returns a fresh :class:`FaultPlan` scripted against a drive of
+``duration_s`` seconds (windows scale with the duration, so the same
+scenario stresses a 30 s smoke drive and a 30 min endurance run alike).
+``worst_case`` stacks every injection site at once — the acceptance
+scenario: the drive must complete, the pedestrian partition must process
+every frame, and every fault must appear in the drive's audit trail.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import ANY_TARGET, FaultPlan, FaultSite, FaultSpec
+
+
+def flaky_dma(duration_s: float = 60.0) -> FaultPlan:
+    """Vehicle frame DMA aborts a few transfers, then stalls one."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                site=FaultSite.DMA_ERROR,
+                target="dma-veh-mm2s",
+                start_s=duration_s * 0.2,
+                end_s=duration_s * 0.4,
+                max_firings=3,
+            ),
+            FaultSpec(
+                site=FaultSite.DMA_STALL,
+                target="dma-veh-mm2s",
+                start_s=duration_s * 0.6,
+                end_s=duration_s * 0.7,
+                magnitude=0.08,
+                max_firings=1,
+            ),
+        ],
+        name="flaky_dma",
+    )
+
+
+def corrupt_bitstream(duration_s: float = 60.0) -> FaultPlan:
+    """The dark bitstream is damaged in PL DDR; first load must fail."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                site=FaultSite.BITSTREAM_CORRUPT,
+                target="dark",
+                max_firings=1,
+            )
+        ],
+        name="corrupt_bitstream",
+    )
+
+
+def pr_timeout(duration_s: float = 60.0) -> FaultPlan:
+    """The first reconfiguration stalls past the watchdog deadline."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                site=FaultSite.PR_STALL,
+                target=ANY_TARGET,
+                magnitude=5.0,
+                max_firings=1,
+            )
+        ],
+        name="pr_timeout",
+    )
+
+
+def sensor_blackout(duration_s: float = 60.0) -> FaultPlan:
+    """The light sensor holds its register for a stretch, then glitches."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                site=FaultSite.SENSOR_DROPOUT,
+                target="sensor",
+                start_s=duration_s * 0.3,
+                end_s=duration_s * 0.45,
+            ),
+            FaultSpec(
+                site=FaultSite.SENSOR_SPIKE,
+                target="sensor",
+                start_s=duration_s * 0.55,
+                end_s=duration_s * 0.6,
+                magnitude=45000.0,
+                max_firings=2,
+            ),
+        ],
+        name="sensor_blackout",
+    )
+
+
+def detector_crash(duration_s: float = 60.0) -> FaultPlan:
+    """The vehicle detector throws on a burst of frames mid-drive."""
+    return FaultPlan(
+        [
+            FaultSpec(
+                site=FaultSite.PIPELINE_EXCEPTION,
+                target="vehicle",
+                start_s=duration_s * 0.5,
+                end_s=duration_s * 0.52,
+                max_firings=10,
+            )
+        ],
+        name="detector_crash",
+    )
+
+
+def worst_case(duration_s: float = 60.0) -> FaultPlan:
+    """Every injection site at once — the acceptance scenario."""
+    specs: list[FaultSpec] = []
+    for factory in (flaky_dma, corrupt_bitstream, pr_timeout, sensor_blackout, detector_crash):
+        specs.extend(factory(duration_s).specs)
+    return FaultPlan(specs, name="worst_case")
+
+
+SCENARIOS: dict[str, Callable[[float], FaultPlan]] = {
+    "flaky_dma": flaky_dma,
+    "corrupt_bitstream": corrupt_bitstream,
+    "pr_timeout": pr_timeout,
+    "sensor_blackout": sensor_blackout,
+    "detector_crash": detector_crash,
+    "worst_case": worst_case,
+}
+
+
+def get_scenario(name: str, duration_s: float = 60.0) -> FaultPlan:
+    """A fresh plan for one canned scenario (fresh = all specs re-armed)."""
+    if name not in SCENARIOS:
+        raise FaultInjectionError(
+            f"unknown fault scenario {name!r} (canned: {sorted(SCENARIOS)})"
+        )
+    return SCENARIOS[name](duration_s)

@@ -8,6 +8,7 @@ the failure-injection tests corrupt it.  The paper's partial bit files are
 
 from __future__ import annotations
 
+import random
 import zlib
 from dataclasses import dataclass, field
 
@@ -16,6 +17,11 @@ from repro.errors import BitstreamError
 # The paper's partial bitstream size ("with our partial bit files of 8MB",
 # decimal MB: 8 MB / 390 MB/s = 20.5 ms, the paper's "20ms" figure).
 PAPER_PARTIAL_BITSTREAM_BYTES = 8_000_000
+
+# Size of the in-memory stand-in for the configuration frames.  Real partial
+# bit files are megabytes; modelling integrity only needs a representative
+# block that the CRC actually covers.
+PAYLOAD_DIGEST_BYTES = 4096
 
 
 @dataclass
@@ -34,6 +40,7 @@ class PartialBitstream:
     partition: str = "vehicle"
     size_bytes: int = PAPER_PARTIAL_BITSTREAM_BYTES
     payload_seed: int = 0
+    _payload: bytes = field(init=False, repr=False)
     _crc: int = field(init=False)
 
     def __post_init__(self) -> None:
@@ -41,15 +48,26 @@ class PartialBitstream:
             raise BitstreamError(f"bitstream size must be positive, got {self.size_bytes}")
         if self.size_bytes % 4 != 0:
             raise BitstreamError("bitstream size must be a whole number of 32-bit words")
+        self._payload = self._generate_payload()
         self._crc = self._compute_crc()
+
+    def _generate_payload(self) -> bytes:
+        # Deterministic stand-in for the configuration frames; the "flash
+        # master copy" a repair re-stages from is this same generator.
+        seed = f"{self.name}:{self.partition}:{self.size_bytes}:{self.payload_seed}"
+        return random.Random(seed).randbytes(PAYLOAD_DIGEST_BYTES)
 
     def _compute_crc(self) -> int:
         header = f"{self.name}:{self.partition}:{self.size_bytes}:{self.payload_seed}"
-        return zlib.crc32(header.encode())
+        return zlib.crc32(self._payload, zlib.crc32(header.encode()))
 
     @property
     def crc(self) -> int:
         return self._crc
+
+    @property
+    def payload(self) -> bytes:
+        return self._payload
 
     @property
     def words(self) -> int:
@@ -62,6 +80,17 @@ class PartialBitstream:
     def corrupt(self) -> None:
         """Flip the integrity word (models a damaged file in DDR)."""
         self._crc ^= 0xDEADBEEF
+
+    def corrupt_payload(self) -> None:
+        """Flip a payload byte (models damaged configuration frames)."""
+        damaged = bytearray(self._payload)
+        damaged[len(damaged) // 2] ^= 0xFF
+        self._payload = bytes(damaged)
+
+    def repair(self) -> None:
+        """Re-stage payload and CRC from the flash master copy."""
+        self._payload = self._generate_payload()
+        self._crc = self._compute_crc()
 
 
 class BitstreamRepository:
@@ -88,6 +117,18 @@ class BitstreamRepository:
 
     def names(self) -> list[str]:
         return sorted(self._store)
+
+    def checksum(self, name: str) -> int:
+        """Stored CRC of one entry."""
+        return self.get(name).crc
+
+    def verify_all(self) -> dict[str, bool]:
+        """Integrity check every entry (a boot-time scrub pass)."""
+        return {name: bs.verify() for name, bs in sorted(self._store.items())}
+
+    def restage(self, name: str) -> None:
+        """Repair one entry from its flash master copy."""
+        self.get(name).repair()
 
     def __contains__(self, name: str) -> bool:
         return name in self._store

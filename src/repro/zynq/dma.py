@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import DmaError
+from repro.faults.plan import FaultPlan, FaultSite
 from repro.zynq.bus import BusLink
 from repro.zynq.events import Simulator, Trace
 from repro.zynq.interrupts import InterruptController
@@ -51,6 +52,7 @@ class DmaEngine:
         interrupts: InterruptController,
         trace: Trace | None = None,
         burst_beats: int | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.name = name
         self.sim = sim
@@ -58,6 +60,7 @@ class DmaEngine:
         self.interrupts = interrupts
         self.trace = trace
         self.burst_beats = burst_beats
+        self.faults = faults
         self.state = DmaState.IDLE
         self.transfers_completed = 0
         self.bytes_transferred = 0
@@ -91,6 +94,19 @@ class DmaEngine:
             self.trace.log(self.sim.now, self.name, f"start {descriptor.label} ({descriptor.n_bytes} B)")
         inject = self._inject_error_next
         self._inject_error_next = False
+        stall_s = 0.0
+        if self.faults is not None:
+            if self.faults.fire(FaultSite.DMA_ERROR, self.name, self.sim.now, descriptor.label):
+                inject = True
+            stall = self.faults.fire(
+                FaultSite.DMA_STALL, self.name, self.sim.now, descriptor.label
+            )
+            if stall is not None:
+                stall_s = stall.magnitude
+                if self.trace is not None:
+                    self.trace.log(
+                        self.sim.now, self.name, f"stall {stall_s * 1e3:.1f} ms on {descriptor.label}"
+                    )
 
         def after_setup() -> None:
             if inject:
@@ -118,7 +134,7 @@ class DmaEngine:
             if on_done is not None:
                 on_done()
 
-        self.sim.schedule(DMA_SETUP_TIME_S, after_setup)
+        self.sim.schedule(DMA_SETUP_TIME_S + stall_s, after_setup)
 
     def reset(self) -> None:
         """Clear an error state (soft reset through AXI-Lite)."""

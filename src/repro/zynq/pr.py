@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ReconfigurationError
+from repro.faults.plan import FaultPlan, FaultSite
 from repro.zynq.bitstream import BitstreamRepository, PartialBitstream
 from repro.zynq.bus import (
     GP_PORT_LITE,
@@ -58,6 +59,8 @@ class ReconfigReport:
     end_s: float = 0.0
     ok: bool = False
     error: str = ""
+    attempt: int = 1
+    timed_out: bool = False
 
     @property
     def duration_s(self) -> float:
@@ -84,15 +87,23 @@ class BasePrController:
         repository: BitstreamRepository,
         trace: Trace | None = None,
         setup_time_s: float = 2.0e-6,
+        faults: FaultPlan | None = None,
+        timeout_s: float | None = None,
     ):
+        if timeout_s is not None and timeout_s <= 0:
+            raise ReconfigurationError(f"timeout_s must be positive, got {timeout_s}")
         self.sim = sim
         self.interrupts = interrupts
         self.repository = repository
         self.trace = trace
         self.setup_time_s = setup_time_s
+        self.faults = faults
+        self.timeout_s = timeout_s
         self.state = PrState.IDLE
         self.irq_line = f"{self.name}.reconfig_done"
+        self.error_line = f"{self.name}.reconfig_error"
         interrupts.register(self.irq_line)
+        interrupts.register(self.error_line)
         self.reports: list[ReconfigReport] = []
         self.active_configuration: str | None = None
 
@@ -123,6 +134,10 @@ class BasePrController:
         if self.state is PrState.RECONFIGURING:
             raise ReconfigurationError(f"{self.name}: reconfiguration already in progress")
         bitstream = self.repository.get(name)
+        if self.faults is not None and self.faults.fire(
+            FaultSite.BITSTREAM_CORRUPT, name, self.sim.now
+        ):
+            bitstream.corrupt_payload()
         report = ReconfigReport(
             controller=self.name,
             bitstream=name,
@@ -138,8 +153,18 @@ class BasePrController:
         if self.trace is not None:
             self.trace.log(self.sim.now, self.name, f"reconfigure -> {name} start")
         duration = self.transfer_time(bitstream.size_bytes)
+        if self.faults is not None:
+            stall = self.faults.fire(FaultSite.PR_STALL, name, self.sim.now)
+            if stall is not None:
+                duration += stall.magnitude
+                if self.trace is not None:
+                    self.trace.log(
+                        self.sim.now, self.name, f"ICAP stream stalled {stall.magnitude * 1e3:.1f} ms"
+                    )
 
         def complete() -> None:
+            if report.timed_out:
+                return
             self.state = PrState.IDLE
             self.active_configuration = name
             report.end_s = self.sim.now
@@ -154,7 +179,27 @@ class BasePrController:
             if on_done is not None:
                 on_done(report)
 
-        self.sim.schedule(self.setup_time_s + duration, complete)
+        handle = self.sim.schedule(self.setup_time_s + duration, complete)
+
+        if self.timeout_s is not None:
+
+            def watchdog() -> None:
+                if report.ok or report.timed_out:
+                    return
+                handle.cancel()
+                self.state = PrState.IDLE
+                report.end_s = self.sim.now
+                report.error = "watchdog timeout"
+                report.timed_out = True
+                if self.trace is not None:
+                    self.trace.log(
+                        self.sim.now, self.name, f"reconfigure -> {name} TIMED OUT"
+                    )
+                self.interrupts.raise_irq(self.error_line)
+                if on_done is not None:
+                    on_done(report)
+
+            self.sim.schedule(self.setup_time_s + self.timeout_s, watchdog)
         return report
 
 

@@ -20,10 +20,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import ReconfigurationError, SimulationError
+from repro.faults.plan import DegradationEvent, FaultPlan
 from repro.hw.timing import HDTV_TIMING, VideoTiming
 from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
 from repro.zynq.bus import HP_PORT_VIDEO, BusLink, LinkSpec
-from repro.zynq.dma import DmaDescriptor, DmaEngine
+from repro.zynq.dma import DmaDescriptor, DmaEngine, DmaState
 from repro.zynq.events import Simulator, Trace
 from repro.zynq.interrupts import InterruptController
 from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
@@ -64,34 +65,61 @@ class ZynqSoC:
         vehicle_processing_s: float = 0.0198,
         pedestrian_processing_s: float = 0.0198,
         timing: VideoTiming = HDTV_TIMING,
+        faults: FaultPlan | None = None,
+        pr_timeout_s: float | None = None,
     ):
         self.sim = Simulator()
         self.trace = Trace()
         self.interrupts = InterruptController(self.sim)
         self.timing = timing
         self.repository = repository or paper_bitstreams()
+        self.faults = faults
+        # Degradation actions (driver-level recoveries) are reported here;
+        # the system level subscribes to fold them into its drive report.
+        self.on_degradation: Callable[[DegradationEvent], None] | None = None
 
         # HP-port links (shared, FIFO-arbitrated).
         self.hp0 = BusLink(self.sim, LinkSpec(**{**HP_PORT_VIDEO.__dict__, "name": "hp0"}))
         self.hp1 = BusLink(self.sim, LinkSpec(**{**HP_PORT_VIDEO.__dict__, "name": "hp1"}))
         self.hp2 = BusLink(self.sim, LinkSpec(**{**HP_PORT_VIDEO.__dict__, "name": "hp2"}))
 
-        # DMA engines, as in Fig. 6 (MM2S feeds a detector, S2MM returns results).
+        # DMA engines, as in Fig. 6 (MM2S feeds a detector, S2MM returns
+        # results).  Only the vehicle-side engines see the fault plan: the
+        # static pedestrian partition sits on a protected path — the paper's
+        # safety argument — so injected faults can never reach it.
         self.ped_in_dma = DmaEngine("dma-ped-mm2s", self.sim, self.hp0, self.interrupts, self.trace)
         self.ped_out_dma = DmaEngine("dma-ped-s2mm", self.sim, self.hp0, self.interrupts, self.trace)
-        self.veh_in_dma = DmaEngine("dma-veh-mm2s", self.sim, self.hp1, self.interrupts, self.trace)
-        self.veh_out_dma = DmaEngine("dma-veh-s2mm", self.sim, self.hp2, self.interrupts, self.trace)
+        self.veh_in_dma = DmaEngine(
+            "dma-veh-mm2s", self.sim, self.hp1, self.interrupts, self.trace, faults=faults
+        )
+        self.veh_out_dma = DmaEngine(
+            "dma-veh-s2mm", self.sim, self.hp2, self.interrupts, self.trace, faults=faults
+        )
 
         # Detectors.
         self.pedestrian = HwDetector("pedestrian", processing_time_s=pedestrian_processing_s)
         self.vehicle = HwDetector(
             "vehicle", processing_time_s=vehicle_processing_s, configuration="day_dusk"
         )
+        # BRAM-resident SVM model currently selected by the day_dusk image.
+        self.vehicle_model = "day"
 
         # PR controller for the vehicle partition.
-        self.pr = controller_cls(self.sim, self.interrupts, self.repository, self.trace)
+        self.pr = controller_cls(
+            self.sim,
+            self.interrupts,
+            self.repository,
+            self.trace,
+            faults=faults,
+            timeout_s=pr_timeout_s,
+        )
         self.pr.active_configuration = self.vehicle.configuration
         self.reconfigurations: list[ReconfigReport] = []
+
+    def _degrade(self, kind: str, detail: str = "") -> None:
+        self.trace.log(self.sim.now, "soc", f"degrade {kind}: {detail}" if detail else f"degrade {kind}")
+        if self.on_degradation is not None:
+            self.on_degradation(DegradationEvent(time_s=self.sim.now, kind=kind, detail=detail))
 
     # Frame processing -------------------------------------------------------
 
@@ -127,7 +155,20 @@ class ZynqSoC:
             self.sim.schedule(detector.processing_time_s, after_processing)
 
         def after_processing() -> None:
-            out_dma.start(DmaDescriptor(RESULT_BYTES, label=f"{which}-result"), on_done=finish)
+            if out_dma.state is not DmaState.IDLE:
+                # Egress still tied up by the previous result (a stalled or
+                # errored transfer): the new result has nowhere to go, so the
+                # driver drops it rather than reprogramming a busy engine.
+                detector.frames_dropped += 1
+                self._degrade(
+                    "result-backpressure", f"{out_dma.name} busy; {which} result lost"
+                )
+                return
+            out_dma.start(
+                DmaDescriptor(RESULT_BYTES, label=f"{which}-result"),
+                on_done=finish,
+                on_error=output_failed,
+            )
 
         def finish() -> None:
             detector.frames_processed += 1
@@ -135,10 +176,19 @@ class ZynqSoC:
                 on_result()
 
         def input_failed() -> None:
-            # The ingress DMA aborted: free the detector so the stream can
-            # resume once the driver resets the engine.
+            # The ingress DMA aborted: the driver soft-resets the engine
+            # through AXI-Lite so the stream resumes on the next frame.
             detector.busy = False
             detector.frames_dropped += 1
+            in_dma.reset()
+            self._degrade("dma-reset", f"{in_dma.name} after aborted {which} frame")
+
+        def output_failed() -> None:
+            # The result transfer aborted: the frame was processed but its
+            # detections never reached the PS — count it dropped.
+            detector.frames_dropped += 1
+            out_dma.reset()
+            self._degrade("dma-reset", f"{out_dma.name} after lost {which} result")
 
         in_dma.start(
             DmaDescriptor(frame_bytes, label=f"{which}-frame"),
@@ -174,18 +224,37 @@ class ZynqSoC:
 
         def finished(report: ReconfigReport) -> None:
             self.vehicle.available = True
-            self.vehicle.configuration = configuration
+            if report.ok:
+                self.vehicle.configuration = configuration
+                self.trace.log(self.sim.now, "soc", f"vehicle partition up ({configuration})")
+            else:
+                # Failed load: the partition keeps its last-good image (the
+                # PR flow never altered the active frames before ICAP ran).
+                self._degrade(
+                    "pr-fallback",
+                    f"{report.error}; partition restored to {self.vehicle.configuration}",
+                )
             self.reconfigurations.append(report)
-            self.trace.log(self.sim.now, "soc", f"vehicle partition up ({configuration})")
             if on_done is not None:
                 on_done(report)
 
-        return self.pr.reconfigure(configuration, on_done=finished)
+        try:
+            return self.pr.reconfigure(configuration, on_done=finished)
+        except ReconfigurationError:
+            # Synchronous rejection (e.g. integrity check): the partition
+            # was never touched, so bring it straight back up.
+            self.vehicle.available = True
+            self._degrade(
+                "pr-rejected",
+                f"{configuration} rejected; partition stays on {self.vehicle.configuration}",
+            )
+            raise
 
     def swap_vehicle_model(self, model_name: str) -> None:
         """Day<->dusk: select the other BRAM-resident SVM model (no PR)."""
         if not self.vehicle.available:
             raise ReconfigurationError("cannot swap models during reconfiguration")
+        self.vehicle_model = model_name
         self.trace.log(self.sim.now, "soc", f"vehicle model swap -> {model_name}")
 
     # Reporting ----------------------------------------------------------------

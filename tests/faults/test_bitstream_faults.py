@@ -1,0 +1,87 @@
+"""Bitstream CRC injection site: corruption, detection, re-staging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.sensor import sunset_trace
+from repro.core.system import AdaptiveDetectionSystem
+from repro.errors import ReconfigurationError
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.zynq.bitstream import BitstreamRepository, PartialBitstream, paper_bitstreams
+from repro.zynq.events import Simulator, Trace
+from repro.zynq.interrupts import InterruptController
+from repro.zynq.pr import PaperPrController
+
+pytestmark = pytest.mark.faults
+
+
+class TestPayloadChecksum:
+    def test_crc_covers_payload(self):
+        bs = PartialBitstream(name="dark")
+        assert bs.verify()
+        bs.corrupt_payload()
+        assert not bs.verify()
+
+    def test_repair_restores_both_corruption_kinds(self):
+        bs = PartialBitstream(name="dark")
+        original_crc = bs.crc
+        bs.corrupt_payload()
+        bs.corrupt()
+        assert not bs.verify()
+        bs.repair()
+        assert bs.verify()
+        assert bs.crc == original_crc
+
+    def test_payload_deterministic_per_identity(self):
+        a = PartialBitstream(name="dark", payload_seed=2)
+        b = PartialBitstream(name="dark", payload_seed=2)
+        c = PartialBitstream(name="dark", payload_seed=3)
+        assert a.payload == b.payload
+        assert a.crc == b.crc
+        assert a.crc != c.crc
+
+    def test_repository_scrub_and_restage(self):
+        repo = paper_bitstreams()
+        assert repo.verify_all() == {"dark": True, "day_dusk": True}
+        repo.get("dark").corrupt_payload()
+        assert repo.verify_all() == {"dark": False, "day_dusk": True}
+        repo.restage("dark")
+        assert repo.verify_all() == {"dark": True, "day_dusk": True}
+        assert repo.checksum("dark") == repo.get("dark").crc
+
+
+class TestControllerIntegrityPath:
+    def test_planned_corruption_fails_the_load(self):
+        plan = FaultPlan(
+            [FaultSpec(site=FaultSite.BITSTREAM_CORRUPT, target="dark", max_firings=1)]
+        )
+        sim = Simulator()
+        ctrl = PaperPrController(
+            sim, InterruptController(sim), paper_bitstreams(), Trace(), faults=plan
+        )
+        with pytest.raises(ReconfigurationError, match="integrity"):
+            ctrl.reconfigure("dark")
+        report = ctrl.reports[-1]
+        assert report.ok is False
+        assert "integrity" in report.error
+        assert plan.firings() == 1
+
+    def test_system_repairs_and_retries_to_recovery(self):
+        plan = FaultPlan(
+            [FaultSpec(site=FaultSite.BITSTREAM_CORRUPT, target="dark", max_firings=1)]
+        )
+        system = AdaptiveDetectionSystem(fault_plan=plan)
+        report = system.run_drive(sunset_trace(duration_s=120.0))
+        # The first dark load failed its integrity check ...
+        failed = [r for r in report.reconfigurations if not r.ok]
+        assert failed and "integrity" in failed[0].error
+        # ... was repaired and retried ...
+        kinds = [d.kind for d in report.degradations]
+        assert "bitstream-repair" in kinds
+        assert "reconfig-retry" in kinds
+        # ... and the drive ends with the dark image actually loaded.
+        assert system.soc.vehicle.configuration == "dark"
+        assert any(r.ok and r.attempt > 1 for r in report.reconfigurations)
+        # Pedestrian partition untouched throughout.
+        assert all(f.pedestrian_accepted for f in report.frames)

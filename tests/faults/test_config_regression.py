@@ -1,0 +1,41 @@
+"""Regression: SystemConfig must validate controller_cls up front.
+
+Previously a bogus controller_cls passed __post_init__ silently and blew
+up deep inside ZynqSoC construction (or worse, at first reconfiguration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.system import SystemConfig
+from repro.errors import ConfigurationError
+from repro.zynq.pr import BasePrController, PaperPrController, ZycapController
+
+pytestmark = pytest.mark.faults
+
+
+class TestControllerClsValidation:
+    def test_non_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="controller_cls"):
+            SystemConfig(controller_cls="paper-pr")  # a string sneaks in
+
+    def test_unrelated_class_rejected(self):
+        class NotAController:
+            pass
+
+        with pytest.raises(ConfigurationError, match="controller_cls"):
+            SystemConfig(controller_cls=NotAController)
+
+    def test_instance_rejected(self):
+        with pytest.raises(ConfigurationError, match="controller_cls"):
+            SystemConfig(controller_cls=42)
+
+    def test_subclasses_accepted(self):
+        assert SystemConfig(controller_cls=PaperPrController).controller_cls is PaperPrController
+        assert SystemConfig(controller_cls=ZycapController).controller_cls is ZycapController
+
+        class Custom(BasePrController):
+            name = "custom"
+
+        assert SystemConfig(controller_cls=Custom).controller_cls is Custom

@@ -1,0 +1,115 @@
+"""DMA injection site: aborts, stalls, and driver-level recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.zynq.bus import BusLink, LinkSpec
+from repro.zynq.dma import DmaDescriptor, DmaEngine, DmaState
+from repro.zynq.events import Simulator, Trace
+from repro.zynq.interrupts import InterruptController
+from repro.zynq.soc import ZynqSoC
+
+pytestmark = pytest.mark.faults
+
+
+def _engine(plan: FaultPlan | None = None):
+    sim = Simulator()
+    link = BusLink(sim, LinkSpec(name="test"))
+    irqs = InterruptController(sim)
+    engine = DmaEngine("dma-t", sim, link, irqs, Trace(), faults=plan)
+    return sim, irqs, engine
+
+
+class TestDmaErrorInjection:
+    def test_planned_error_aborts_transfer(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR, target="dma-t", max_firings=1)])
+        sim, irqs, engine = _engine(plan)
+        outcomes = []
+        engine.start(
+            DmaDescriptor(4096, label="frame"),
+            on_done=lambda: outcomes.append("done"),
+            on_error=lambda: outcomes.append("error"),
+        )
+        sim.run()
+        assert outcomes == ["error"]
+        assert engine.state is DmaState.ERROR
+        assert irqs.count(engine.error_line) == 1
+        assert irqs.count(engine.irq_line) == 0
+        assert plan.firings() == 1
+
+    def test_recovery_after_reset(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR, target="dma-t", max_firings=1)])
+        sim, irqs, engine = _engine(plan)
+        engine.start(DmaDescriptor(4096), on_error=lambda: None)
+        sim.run()
+        engine.reset()
+        done = []
+        engine.start(DmaDescriptor(4096), on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert engine.state is DmaState.IDLE
+        assert done and engine.transfers_completed == 1
+
+    def test_untargeted_engine_unaffected(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR, target="dma-other")])
+        sim, irqs, engine = _engine(plan)
+        done = []
+        engine.start(DmaDescriptor(4096), on_done=lambda: done.append(sim.now))
+        sim.run()
+        assert done and plan.firings() == 0
+
+
+class TestDmaStallInjection:
+    def test_stall_delays_completion(self):
+        def completion_time(plan):
+            sim, _, engine = _engine(plan)
+            done = []
+            engine.start(DmaDescriptor(4096), on_done=lambda: done.append(sim.now))
+            sim.run()
+            return done[0]
+
+        baseline = completion_time(None)
+        stalled = completion_time(
+            FaultPlan([FaultSpec(site=FaultSite.DMA_STALL, target="dma-t", magnitude=0.25)])
+        )
+        assert stalled == pytest.approx(baseline + 0.25)
+
+    def test_stalled_transfer_still_completes_cleanly(self):
+        plan = FaultPlan(
+            [FaultSpec(site=FaultSite.DMA_STALL, target="dma-t", magnitude=0.1, max_firings=1)]
+        )
+        sim, irqs, engine = _engine(plan)
+        engine.start(DmaDescriptor(4096), on_done=lambda: None)
+        sim.run()
+        assert engine.state is DmaState.IDLE
+        assert engine.transfers_completed == 1
+        assert irqs.count(engine.irq_line) == 1
+
+
+class TestSocDmaRecovery:
+    def test_soc_auto_resets_aborted_vehicle_ingress(self):
+        plan = FaultPlan(
+            [FaultSpec(site=FaultSite.DMA_ERROR, target="dma-veh-mm2s", max_firings=1)]
+        )
+        soc = ZynqSoC(faults=plan)
+        degradations = []
+        soc.on_degradation = degradations.append
+        assert soc.submit_frame("vehicle") is True  # accepted, aborts in flight
+        soc.sim.run()
+        # The driver reset the engine; the next frame flows end to end.
+        processed_before = soc.vehicle.frames_processed
+        assert soc.submit_frame("vehicle") is True
+        soc.sim.run()
+        assert soc.vehicle.frames_processed == processed_before + 1
+        assert any(d.kind == "dma-reset" for d in degradations)
+
+    def test_pedestrian_path_never_sees_the_plan(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR)])  # wildcard, always on
+        soc = ZynqSoC(faults=plan)
+        assert soc.ped_in_dma.faults is None
+        assert soc.ped_out_dma.faults is None
+        assert soc.submit_frame("pedestrian") is True
+        soc.sim.run()
+        assert soc.pedestrian.frames_processed == 1
+        assert soc.pedestrian.frames_dropped == 0

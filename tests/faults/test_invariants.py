@@ -1,0 +1,95 @@
+"""Property: the pedestrian partition processes every frame, no matter what.
+
+Randomized fault plans and lux traces drive the full system; under every
+combination the static partition must stay perfect and the drive must
+complete.  Uses hypothesis when available, plus an always-on seeded sweep
+so the invariant is exercised even without it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.sensor import LightSensor, LuxTrace
+from repro.core.system import AdaptiveDetectionSystem
+from repro.faults.plan import FaultPlan
+
+pytestmark = pytest.mark.faults
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+DURATION_S = 8.0
+
+
+def _random_trace(seed: int) -> LuxTrace:
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    times = [0.0, DURATION_S * 0.33, DURATION_S * 0.66, DURATION_S]
+    luxes = 10 ** rng.uniform(-0.5, 4.7, size=len(times))
+    return LuxTrace(points=tuple(zip(times, (float(l) for l in luxes))))
+
+
+def _assert_pedestrian_perfect(plan_seed: int, trace_seed: int, n_faults: int) -> None:
+    plan = FaultPlan.random(seed=plan_seed, duration_s=DURATION_S, n_faults=n_faults)
+    trace = _random_trace(trace_seed)
+    system = AdaptiveDetectionSystem(fault_plan=plan)
+    sensor = LightSensor(trace, noise_rel=0.05, seed=trace_seed, faults=plan)
+    report = system.run_drive(trace, duration_s=DURATION_S, sensor=sensor)
+    assert report.n_frames == int(DURATION_S * system.config.fps)
+    assert all(f.pedestrian_accepted for f in report.frames), (
+        f"pedestrian dropped a frame under plan seed {plan_seed}"
+    )
+    assert system.soc.pedestrian.frames_dropped == 0
+    assert system.soc.pedestrian.frames_processed == report.n_frames
+
+
+class TestPedestrianInvariant:
+    def test_seeded_sweep(self):
+        for seed in range(12):
+            _assert_pedestrian_perfect(plan_seed=seed, trace_seed=seed + 100, n_faults=8)
+
+    def test_no_fault_plan_baseline(self):
+        _assert_pedestrian_perfect_no_plan()
+
+
+def _assert_pedestrian_perfect_no_plan() -> None:
+    trace = _random_trace(0)
+    system = AdaptiveDetectionSystem()
+    report = system.run_drive(trace, duration_s=DURATION_S)
+    assert all(f.pedestrian_accepted for f in report.frames)
+    assert system.soc.pedestrian.frames_dropped == 0
+
+
+if HAVE_HYPOTHESIS:
+
+    class TestPedestrianInvariantHypothesis:
+        @given(
+            plan_seed=st.integers(min_value=0, max_value=2**31 - 1),
+            trace_seed=st.integers(min_value=0, max_value=2**31 - 1),
+            n_faults=st.integers(min_value=0, max_value=12),
+        )
+        @settings(max_examples=15, deadline=None)
+        def test_pedestrian_processes_every_frame(self, plan_seed, trace_seed, n_faults):
+            _assert_pedestrian_perfect(plan_seed, trace_seed, n_faults)
+
+        @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+        @settings(max_examples=10, deadline=None)
+        def test_drive_completes_and_audits_every_firing(self, seed):
+            plan = FaultPlan.random(seed=seed, duration_s=DURATION_S, n_faults=6)
+            trace = _random_trace(seed)
+            system = AdaptiveDetectionSystem(fault_plan=plan)
+            sensor = LightSensor(trace, noise_rel=0.05, seed=seed, faults=plan)
+            report = system.run_drive(trace, duration_s=DURATION_S, sensor=sensor)
+            # Every firing that happened during the frame loop appears in
+            # some frame's audit trail.
+            audited = sum(len(f.faults) for f in report.frames)
+            assert audited >= len(
+                [e for e in plan.events if e.time_s <= report.frames[-1].time_s]
+            )

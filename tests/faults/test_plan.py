@@ -1,0 +1,96 @@
+"""Tests for repro.faults.plan: windows, targeting, arming, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.plan import ANY_TARGET, FaultEvent, FaultPlan, FaultSite, FaultSpec
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpec:
+    def test_window_matching(self):
+        spec = FaultSpec(site=FaultSite.DMA_ERROR, target="dma-x", start_s=1.0, end_s=2.0)
+        assert not spec.matches(FaultSite.DMA_ERROR, "dma-x", 0.5)
+        assert spec.matches(FaultSite.DMA_ERROR, "dma-x", 1.0)
+        assert spec.matches(FaultSite.DMA_ERROR, "dma-x", 1.999)
+        assert not spec.matches(FaultSite.DMA_ERROR, "dma-x", 2.0)
+
+    def test_wildcard_and_named_targets(self):
+        wild = FaultSpec(site=FaultSite.DMA_ERROR, target=ANY_TARGET)
+        named = FaultSpec(site=FaultSite.DMA_ERROR, target="dma-a")
+        assert wild.matches(FaultSite.DMA_ERROR, "anything", 0.0)
+        assert named.matches(FaultSite.DMA_ERROR, "dma-a", 0.0)
+        assert not named.matches(FaultSite.DMA_ERROR, "dma-b", 0.0)
+        assert not named.matches(FaultSite.DMA_STALL, "dma-a", 0.0)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(site=FaultSite.DMA_ERROR, start_s=-1.0)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(site=FaultSite.DMA_ERROR, start_s=2.0, end_s=1.0)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(site=FaultSite.DMA_STALL, magnitude=-0.5)
+        with pytest.raises(FaultInjectionError):
+            FaultSpec(site=FaultSite.DMA_ERROR, max_firings=0)
+
+
+class TestFaultPlan:
+    def test_fire_consumes_and_logs(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR, max_firings=2)])
+        assert plan.fire(FaultSite.DMA_ERROR, "dma-a", 0.1) is not None
+        assert plan.fire(FaultSite.DMA_ERROR, "dma-a", 0.2) is not None
+        assert plan.fire(FaultSite.DMA_ERROR, "dma-a", 0.3) is None
+        assert plan.firings() == 2
+        assert [e.time_s for e in plan.events] == [0.1, 0.2]
+
+    def test_active_does_not_consume(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.PR_STALL, max_firings=1)])
+        assert plan.active(FaultSite.PR_STALL, "dark", 0.0) is not None
+        assert plan.active(FaultSite.PR_STALL, "dark", 0.0) is not None
+        assert plan.firings() == 0
+
+    def test_miss_returns_none(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.SENSOR_SPIKE, start_s=5.0, end_s=6.0)])
+        assert plan.fire(FaultSite.SENSOR_SPIKE, "sensor", 1.0) is None
+        assert plan.fire(FaultSite.SENSOR_DROPOUT, "sensor", 5.5) is None
+        assert plan.events == []
+
+    def test_any_active_with_slack(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_STALL, start_s=1.0, end_s=2.0)])
+        assert not plan.any_active(0.5)
+        assert plan.any_active(1.5)
+        assert not plan.any_active(2.5)
+        assert plan.any_active(2.5, slack_s=1.0)
+
+    def test_reset_rearms(self):
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR, max_firings=1)])
+        assert plan.fire(FaultSite.DMA_ERROR, "x", 0.0) is not None
+        assert plan.fire(FaultSite.DMA_ERROR, "x", 0.0) is None
+        plan.reset()
+        assert plan.events == []
+        assert plan.fire(FaultSite.DMA_ERROR, "x", 0.0) is not None
+
+    def test_listeners_notified(self):
+        seen: list[FaultEvent] = []
+        plan = FaultPlan([FaultSpec(site=FaultSite.DMA_ERROR)])
+        plan.listeners.append(seen.append)
+        plan.fire(FaultSite.DMA_ERROR, "dma-a", 3.0, "boom")
+        assert len(seen) == 1
+        assert seen[0].label() == "fault:dma-error@dma-a(boom)"
+
+    def test_random_plans_are_seed_deterministic(self):
+        a = FaultPlan.random(seed=7, duration_s=30.0, n_faults=8)
+        b = FaultPlan.random(seed=7, duration_s=30.0, n_faults=8)
+        c = FaultPlan.random(seed=8, duration_s=30.0, n_faults=8)
+        assert a.specs == b.specs
+        assert a.specs != c.specs
+        assert len(a) == 8
+
+    def test_random_plan_validation(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.random(seed=0, duration_s=0.0)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.random(seed=0, duration_s=10.0, n_faults=-1)

@@ -1,0 +1,128 @@
+"""PR injection site: stalls, the watchdog, and last-good fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.sensor import sunset_trace
+from repro.core.system import AdaptiveDetectionSystem, DegradationPolicy, SystemConfig
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.zynq.bitstream import paper_bitstreams
+from repro.zynq.events import Simulator, Trace
+from repro.zynq.interrupts import InterruptController
+from repro.zynq.pr import PaperPrController, PrState
+from repro.zynq.soc import ZynqSoC
+
+pytestmark = pytest.mark.faults
+
+
+def _stall_plan(stall_s: float, firings: int = 1) -> FaultPlan:
+    return FaultPlan(
+        [FaultSpec(site=FaultSite.PR_STALL, magnitude=stall_s, max_firings=firings)]
+    )
+
+
+class TestWatchdog:
+    def test_stall_past_deadline_times_out(self):
+        sim = Simulator()
+        irqs = InterruptController(sim)
+        ctrl = PaperPrController(
+            sim, irqs, paper_bitstreams(), Trace(),
+            faults=_stall_plan(5.0), timeout_s=0.1,
+        )
+        done = []
+        ctrl.reconfigure("dark", on_done=done.append)
+        sim.run()
+        report = done[0]
+        assert report.timed_out is True
+        assert report.ok is False
+        assert report.error == "watchdog timeout"
+        assert report.duration_s == pytest.approx(0.1, rel=0.01)
+        assert ctrl.state is PrState.IDLE
+        assert ctrl.active_configuration != "dark"
+        assert irqs.count(ctrl.error_line) == 1
+
+    def test_stall_within_deadline_just_runs_long(self):
+        sim = Simulator()
+        ctrl = PaperPrController(
+            sim, InterruptController(sim), paper_bitstreams(), Trace(),
+            faults=_stall_plan(0.05), timeout_s=0.5,
+        )
+        done = []
+        ctrl.reconfigure("dark", on_done=done.append)
+        sim.run()
+        report = done[0]
+        assert report.ok is True
+        assert report.timed_out is False
+        assert report.duration_s == pytest.approx(0.0705, rel=0.05)
+        assert ctrl.active_configuration == "dark"
+
+    def test_no_watchdog_without_timeout(self):
+        sim = Simulator()
+        ctrl = PaperPrController(
+            sim, InterruptController(sim), paper_bitstreams(), Trace(),
+            faults=_stall_plan(5.0),
+        )
+        done = []
+        ctrl.reconfigure("dark", on_done=done.append)
+        sim.run()
+        assert done[0].ok is True  # eventually completes, 5 s late
+
+
+class TestSocFallback:
+    def test_partition_restored_to_last_good_image(self):
+        soc = ZynqSoC(faults=_stall_plan(5.0), pr_timeout_s=0.1)
+        degradations = []
+        soc.on_degradation = degradations.append
+        reports = []
+        soc.reconfigure_vehicle("dark", on_done=reports.append)
+        assert soc.vehicle.available is False
+        soc.sim.run()
+        assert soc.vehicle.available is True
+        assert soc.vehicle.configuration == "day_dusk"  # last-good kept
+        assert reports[0].timed_out
+        assert any(d.kind == "pr-fallback" for d in degradations)
+
+
+class TestSystemRetry:
+    def test_drive_retries_after_timeout_and_recovers(self):
+        plan = _stall_plan(5.0)
+        system = AdaptiveDetectionSystem(fault_plan=plan)
+        report = system.run_drive(sunset_trace(duration_s=120.0))
+        timed_out = [r for r in report.reconfigurations if r.timed_out]
+        assert timed_out, "the injected stall should trip the watchdog"
+        assert any(r.ok and r.attempt > 1 for r in report.reconfigurations)
+        assert system.soc.vehicle.configuration == "dark"
+        assert all(f.pedestrian_accepted for f in report.frames)
+
+    def test_retries_are_bounded_with_backoff(self):
+        # Enough stall firings to exhaust every retry.
+        plan = _stall_plan(5.0, firings=10)
+        config = SystemConfig(
+            degradation=DegradationPolicy(
+                max_reconfig_retries=2,
+                backoff_initial_s=0.05,
+                backoff_factor=2.0,
+                pr_timeout_s=0.1,
+            )
+        )
+        system = AdaptiveDetectionSystem(config=config, fault_plan=plan)
+        report = system.run_drive(sunset_trace(duration_s=120.0))
+        dark_attempts = [r for r in report.reconfigurations if r.bitstream == "dark"]
+        # 1 initial + 2 retries per requested reconfiguration, no more.
+        assert max(r.attempt for r in dark_attempts) == 3
+        assert any(d.kind == "reconfig-abandoned" for d in report.degradations)
+        # Degraded but alive: the last-good image keeps detecting.
+        assert system.soc.vehicle.available is True
+        assert system.soc.vehicle.configuration == "day_dusk"
+        assert any(f.degraded for f in report.frames)
+        assert all(f.pedestrian_accepted for f in report.frames)
+
+    def test_backoff_delays_grow_and_cap(self):
+        policy = DegradationPolicy(
+            backoff_initial_s=0.05, backoff_factor=2.0, backoff_max_s=0.15
+        )
+        assert policy.retry_delay_s(1) == pytest.approx(0.05)
+        assert policy.retry_delay_s(2) == pytest.approx(0.10)
+        assert policy.retry_delay_s(3) == pytest.approx(0.15)
+        assert policy.retry_delay_s(10) == pytest.approx(0.15)

@@ -1,0 +1,84 @@
+"""Canned scenarios: every one completes; worst_case meets acceptance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.sensor import sunset_trace
+from repro.core.system import AdaptiveDetectionSystem
+from repro.errors import FaultInjectionError
+from repro.faults.scenarios import SCENARIOS, get_scenario
+
+pytestmark = pytest.mark.faults
+
+DURATION_S = 60.0
+
+
+def _drive(scenario: str):
+    plan = get_scenario(scenario, DURATION_S)
+    system = AdaptiveDetectionSystem(fault_plan=plan)
+    report = system.run_drive(sunset_trace(duration_s=DURATION_S))
+    return plan, system, report
+
+
+class TestScenarioRegistry:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown fault scenario"):
+            get_scenario("meteor_strike")
+
+    def test_each_call_returns_a_fresh_plan(self):
+        a = get_scenario("worst_case", DURATION_S)
+        b = get_scenario("worst_case", DURATION_S)
+        assert a is not b
+        assert a.specs == b.specs
+        assert b.firings() == 0
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_scenario_drive_completes_with_pedestrian_intact(scenario):
+    plan, system, report = _drive(scenario)
+    assert report.n_frames == int(DURATION_S * 50)
+    assert all(f.pedestrian_accepted for f in report.frames)
+    assert system.soc.pedestrian.frames_dropped == 0
+    assert plan.firings() > 0, "scenario never fired — it tests nothing"
+
+
+class TestWorstCaseAcceptance:
+    @pytest.fixture(scope="class")
+    def worst_case(self):
+        return _drive("worst_case")
+
+    def test_pedestrian_processes_all_frames(self, worst_case):
+        _, system, report = worst_case
+        assert all(f.pedestrian_accepted for f in report.frames)
+        assert system.soc.pedestrian.frames_processed == report.n_frames
+
+    def test_vehicle_drops_only_under_faults_or_reconfig(self, worst_case):
+        plan, _, report = worst_case
+        # Stalls keep the ingress busy past their window; allow their tail.
+        max_stall = max((s.magnitude for s in plan.specs), default=0.0)
+        for frame in report.frames:
+            if frame.vehicle_accepted:
+                continue
+            assert (
+                frame.reconfiguring
+                or frame.faults
+                or frame.degraded
+                or plan.any_active(frame.time_s, slack_s=max_stall)
+            ), f"frame {frame.index} dropped with no fault in sight"
+
+    def test_every_fault_and_degradation_lands_in_a_frame_record(self, worst_case):
+        plan, _, report = worst_case
+        audited = [label for frame in report.frames for label in frame.faults]
+        last_t = report.frames[-1].time_s
+        in_drive_events = [e for e in plan.events if e.time_s <= last_t]
+        in_drive_degradations = [d for d in report.degradations if d.time_s <= last_t]
+        assert len(audited) == len(in_drive_events) + len(in_drive_degradations)
+        assert any(label.startswith("fault:") for label in audited)
+        assert any(label.startswith("degrade:") for label in audited)
+
+    def test_recovery_reaches_the_dark_configuration(self, worst_case):
+        _, system, report = worst_case
+        assert system.soc.vehicle.configuration == "dark"
+        assert any(r.ok and r.attempt > 1 for r in report.reconfigurations)
+        assert report.failed_reconfigurations >= 1

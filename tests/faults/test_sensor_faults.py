@@ -1,0 +1,87 @@
+"""Sensor injection site: dropouts, spikes, and controller spike rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.controller import ControllerConfig, LightingController
+from repro.adaptive.sensor import LightSensor, LuxTrace
+from repro.datasets.lighting import LightingCondition
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+
+pytestmark = pytest.mark.faults
+
+
+def _flat_trace(lux: float, duration_s: float = 100.0) -> LuxTrace:
+    return LuxTrace(points=((0.0, lux), (duration_s, lux)))
+
+
+class TestSensorInjection:
+    def test_dropout_holds_last_register(self):
+        plan = FaultPlan(
+            [FaultSpec(site=FaultSite.SENSOR_DROPOUT, target="sensor", start_s=5.0, end_s=10.0)]
+        )
+        trace = LuxTrace(points=((0.0, 1000.0), (20.0, 10.0)))
+        sensor = LightSensor(trace, noise_rel=0.0, faults=plan)
+        before = sensor.read(4.0)
+        held = [sensor.read(t) for t in (5.0, 6.0, 9.9)]
+        assert all(h == before for h in held)
+        after = sensor.read(10.0)
+        assert after != before  # live again, trace has moved on
+        assert plan.firings() == 3
+
+    def test_spike_returns_magnitude_without_poisoning_register(self):
+        plan = FaultPlan(
+            [FaultSpec(
+                site=FaultSite.SENSOR_SPIKE, target="sensor",
+                start_s=1.0, end_s=2.0, magnitude=50000.0, max_firings=1,
+            ),
+             FaultSpec(site=FaultSite.SENSOR_DROPOUT, target="sensor", start_s=3.0, end_s=4.0)]
+        )
+        sensor = LightSensor(_flat_trace(5.0), noise_rel=0.0, faults=plan)
+        assert sensor.read(0.0) == pytest.approx(5.0)
+        assert sensor.read(1.5) == pytest.approx(50000.0)
+        # The dropout hold returns the last *real* conversion, not the spike.
+        assert sensor.read(3.5) == pytest.approx(5.0)
+
+    def test_no_plan_means_stock_behavior(self):
+        a = LightSensor(_flat_trace(100.0), noise_rel=0.05, seed=3)
+        b = LightSensor(_flat_trace(100.0), noise_rel=0.05, seed=3, faults=FaultPlan())
+        assert [a.read(t) for t in range(10)] == [b.read(t) for t in range(10)]
+
+
+class TestControllerSpikeRejection:
+    def test_single_sample_spike_rejected_with_confirmation(self):
+        config = ControllerConfig(min_dwell_s=0.0, confirm_samples=2)
+        controller = LightingController(config, initial=LightingCondition.DARK)
+        # One spike to daylight: no switch.
+        assert controller.update(0.0, 1.0) is None
+        assert controller.update(0.1, 50000.0) is None
+        assert controller.update(0.2, 1.0) is None
+        assert controller.condition is LightingCondition.DARK
+
+    def test_sustained_change_still_switches(self):
+        config = ControllerConfig(min_dwell_s=0.0, confirm_samples=2)
+        controller = LightingController(config, initial=LightingCondition.DARK)
+        assert controller.update(0.0, 50000.0) is None  # first agreement
+        change = controller.update(0.1, 50000.0)        # confirmed
+        assert change is not None
+        assert change.new is LightingCondition.DUSK  # one step per update
+
+    def test_default_confirmation_is_immediate(self):
+        config = ControllerConfig(min_dwell_s=0.0)
+        controller = LightingController(config, initial=LightingCondition.DARK)
+        assert controller.update(0.0, 50000.0) is not None
+
+    def test_confirmation_counter_resets_between_episodes(self):
+        config = ControllerConfig(min_dwell_s=0.0, confirm_samples=2)
+        controller = LightingController(config, initial=LightingCondition.DARK)
+        assert controller.update(0.0, 50000.0) is None
+        assert controller.update(0.1, 1.0) is None      # back to normal: reset
+        assert controller.update(0.2, 50000.0) is None  # needs 2 fresh agreements
+        assert controller.condition is LightingCondition.DARK
+
+    def test_invalid_confirm_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ControllerConfig(confirm_samples=0)

@@ -1,0 +1,38 @@
+"""Smoke target: the example drive survives the worst-case scenario."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.faults
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_adaptive_drive_example_worst_case():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "examples" / "adaptive_drive.py"),
+            "--trace",
+            "sunset",
+            "--fault-plan",
+            "worst_case",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "fault audit:" in result.stdout
+    assert "processed 100% of frames" in result.stdout
+    assert "DROPPED FRAMES (BUG)" not in result.stdout
