@@ -16,6 +16,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.telemetry.metrics import MetricsRegistry, Stopwatch
+
+#: Session-wide registry: every ``run_once`` call lands a wall-time
+#: observation here, and the snapshot prints in the terminal summary.
+BENCH_METRICS = MetricsRegistry()
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -41,5 +47,32 @@ def report_sink():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The wall time of the single round also lands in the shared
+    :data:`BENCH_METRICS` registry (``bench_wall_s{bench=<fn name>}``), so
+    the terminal summary can compare artefact costs across one session.
+    """
+    with Stopwatch() as sw:
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    BENCH_METRICS.gauge("bench_wall_s", bench=fn.__name__).set(sw.elapsed_s)
+    BENCH_METRICS.counter("bench_runs").inc()
+    return result
+
+
+def pytest_terminal_summary(terminalreporter):
+    snapshot = BENCH_METRICS.snapshot()
+    if not snapshot:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("benchmark metrics (repro.telemetry):")
+    for series in snapshot:
+        labels = series.get("labels", {})
+        label_text = (
+            "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+            if labels
+            else ""
+        )
+        terminalreporter.write_line(
+            f"  {series['name']}{label_text}: {series.get('value', 0.0):g}"
+        )

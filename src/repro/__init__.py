@@ -12,6 +12,8 @@ Subpackages:
 * :mod:`repro.hw`        — FPGA timing and resource models.
 * :mod:`repro.zynq`      — discrete-event Zynq SoC and PR-controller models.
 * :mod:`repro.core`      — the adaptive detection system (paper Fig. 6).
+* :mod:`repro.faults`    — deterministic fault plans and scenarios.
+* :mod:`repro.telemetry` — structured tracing, metrics, and exporters.
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 

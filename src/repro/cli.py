@@ -9,6 +9,8 @@
     python -m repro fig1|fig2|fig4|fig5|fig6|fig7|fps
     python -m repro ablations            # all five ablations
     python -m repro drive [--trace T] [--duration D] [--fault-plan P]
+                          [--telemetry-out PATH] [--telemetry-format F]
+    python -m repro telemetry --telemetry-in PATH   # summarise a dump
     python -m repro all [--scale S]      # everything, in paper order
 """
 
@@ -135,7 +137,19 @@ def _drive(args) -> str:
     plan = None
     if args.fault_plan != "none":
         plan = get_scenario(args.fault_plan, duration_s=args.duration)
-    system = AdaptiveDetectionSystem(fault_plan=plan)
+    telemetry = None
+    if args.telemetry_out is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry.recording(
+            meta={
+                "artefact": "drive",
+                "trace": args.trace,
+                "duration_s": args.duration,
+                "fault_plan": args.fault_plan,
+            }
+        )
+    system = AdaptiveDetectionSystem(fault_plan=plan, telemetry=telemetry)
     report = system.run_drive(trace)
     summary = report.summary()
     lines = [f"drive: trace={args.trace} duration={args.duration:.0f}s "
@@ -151,7 +165,24 @@ def _drive(args) -> str:
     ped_ok = all(f.pedestrian_accepted for f in report.frames)
     lines.append(f"  pedestrian partition:      "
                  f"{'100% of frames processed' if ped_ok else 'DROPPED FRAMES'}")
+    if telemetry is not None:
+        from repro.telemetry import export
+
+        export(telemetry, args.telemetry_out, args.telemetry_format)
+        lines.append(
+            f"  telemetry:                 {len(telemetry.tracer.spans)} spans, "
+            f"{len(telemetry.metrics)} metric series -> "
+            f"{args.telemetry_out} ({args.telemetry_format})"
+        )
     return "\n".join(lines)
+
+
+def _telemetry(args) -> str:
+    from repro.telemetry import summarize_file
+
+    if args.telemetry_in is None:
+        raise SystemExit("telemetry: --telemetry-in PATH is required")
+    return summarize_file(args.telemetry_in)
 
 
 def _ablations(args) -> str:
@@ -201,7 +232,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=sorted(COMMANDS) + ["all", "list"],
+        choices=sorted(COMMANDS) + ["all", "list", "telemetry"],
         help="artefact to reproduce",
     )
     parser.add_argument(
@@ -236,7 +267,40 @@ def main(argv: list[str] | None = None) -> int:
         default="none",
         help="canned fault scenario for the drive command",
     )
+    from repro.telemetry import TELEMETRY_FORMATS
+
+    parser.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="record the drive and write a telemetry dump to PATH",
+    )
+    parser.add_argument(
+        "--telemetry-format",
+        choices=TELEMETRY_FORMATS,
+        default="jsonl",
+        help="telemetry dump format (drive command; default jsonl)",
+    )
+    parser.add_argument(
+        "--telemetry-in",
+        default=None,
+        metavar="PATH",
+        help="telemetry dump to summarise (telemetry command)",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "telemetry":
+        from repro.errors import ConfigurationError
+
+        if args.telemetry_in is None:
+            print("telemetry: --telemetry-in PATH is required", file=sys.stderr)
+            return 2
+        try:
+            print(_telemetry(args))
+        except (OSError, ConfigurationError) as exc:
+            print(f"telemetry: {exc}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.command == "list":
         width = max(len(name) for name in COMMANDS)

@@ -23,6 +23,7 @@ from repro.adaptive.sensor import LightSensor, LuxTrace
 from repro.datasets.lighting import LightingCondition
 from repro.errors import ConfigurationError, ReconfigurationError
 from repro.faults.plan import DegradationEvent, FaultPlan, FaultSite
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
 from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
 from repro.zynq.soc import ZynqSoC
@@ -126,6 +127,10 @@ class FrameRecord:
     reconfiguring: bool
     faults: tuple[str, ...] = ()
     degraded: bool = False
+    #: Telemetry span id of this frame's ``drive.frame`` span (None when
+    #: telemetry is disabled) — the join key between the audit trail and an
+    #: exported trace.
+    span_id: int | None = None
 
 
 @dataclass
@@ -137,6 +142,10 @@ class DriveReport:
     model_swaps: list[tuple[float, str]] = field(default_factory=list)
     reconfigurations: list[ReconfigReport] = field(default_factory=list)
     degradations: list[DegradationEvent] = field(default_factory=list)
+    #: The drive's telemetry session (None when run without telemetry).
+    #: Deliberately excluded from :meth:`summary` so a report is identical
+    #: whether or not the drive was observed.
+    telemetry: Telemetry | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_frames(self) -> int:
@@ -168,8 +177,16 @@ class DriveReport:
     def failed_reconfigurations(self) -> int:
         return sum(1 for r in self.reconfigurations if not r.ok)
 
-    def summary(self) -> dict:
-        return {
+    def summary(self, include_telemetry: bool = False) -> dict:
+        """The drive in one dict.
+
+        ``include_telemetry`` folds in an observability addendum (span and
+        metric series counts) when the drive ran with telemetry; it
+        defaults to off so the summary of an observed drive is *identical*
+        to the summary of an unobserved one — the non-perturbation
+        guarantee the telemetry tests pin down.
+        """
+        summary: dict = {
             "frames": self.n_frames,
             "vehicle_dropped": self.vehicle_dropped,
             "pedestrian_dropped": self.pedestrian_dropped,
@@ -183,6 +200,12 @@ class DriveReport:
             "frames_degraded": self.frames_degraded,
             "frames_with_faults": self.frames_with_faults,
         }
+        if include_telemetry and self.telemetry is not None and self.telemetry.enabled:
+            summary["telemetry"] = {
+                "spans": len(self.telemetry.tracer.spans),
+                "metric_series": len(self.telemetry.metrics),
+            }
+        return summary
 
 
 # Which SVM model the day-dusk configuration selects per condition.
@@ -200,20 +223,27 @@ class AdaptiveDetectionSystem:
         config: SystemConfig | None = None,
         repository: BitstreamRepository | None = None,
         fault_plan: FaultPlan | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.config = config or SystemConfig()
         self.fault_plan = fault_plan
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         policy = self.config.degradation
         self.soc = ZynqSoC(
             controller_cls=self.config.controller_cls,
             repository=repository or paper_bitstreams(),
             faults=fault_plan,
             pr_timeout_s=policy.pr_timeout_s,
+            telemetry=self.telemetry,
         )
         self.controller = LightingController(
             self.config.controller, initial=self.config.initial_condition
         )
         self.report = DriveReport()
+        if self.telemetry.enabled:
+            self.report.telemetry = self.telemetry
+            if fault_plan is not None:
+                fault_plan.bind_telemetry(self.telemetry)
         self.soc.on_degradation = self.report.degradations.append
         self._pending_reconfig = False
 
@@ -225,10 +255,23 @@ class AdaptiveDetectionSystem:
         self.report.degradations.append(
             DegradationEvent(time_s=self.soc.sim.now, kind=kind, detail=detail)
         )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "degrade", time_s=self.soc.sim.now, action=kind, detail=detail
+            )
+            self.telemetry.counter("degradations_total", kind=kind).inc()
 
     def _handle_change(self, change: ConditionChange) -> None:
         """Apply the switching policy for one condition change."""
         self.report.condition_changes.append(change)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "condition.change",
+                time_s=change.time_s,
+                previous=change.previous.value,
+                new=change.new.value,
+            )
+            self.telemetry.counter("condition_changes").inc()
         plan = plan_switch(change.previous, change.new)
         if plan.kind is SwitchKind.MODEL_SWAP:
             model = MODEL_FOR_CONDITION[change.new]
@@ -314,48 +357,54 @@ class AdaptiveDetectionSystem:
         frame_period = 1.0 / self.config.fps
         n_frames = int(duration_s * self.config.fps)
         sim = self.soc.sim
+        telemetry = self.telemetry
+        observed = telemetry.enabled
         fault_plan = self.fault_plan
         fault_cursor = len(fault_plan.events) if fault_plan is not None else 0
         degrade_cursor = len(self.report.degradations)
         next_sensor_t = 0.0
         lux = sensor.read(0.0)
+        drive_span = telemetry.tracer.begin(
+            "drive", frames=n_frames, fps=self.config.fps, duration_s=duration_s
+        )
         for i in range(n_frames):
             t = i * frame_period
-            sim.run_until(t)
-            # A detector exception on the vehicle accelerator costs that
-            # frame: the partition's per-frame watchdog flushes the pipeline
-            # and the stream resumes on the next tick.  The static
-            # pedestrian partition is never consulted — it cannot be made
-            # to skip a frame.
-            if fault_plan is not None and fault_plan.fire(
-                FaultSite.PIPELINE_EXCEPTION, "vehicle", t
-            ):
-                veh_ok = False
-                self.soc.vehicle.frames_dropped += 1
-                self._degrade("detector-flush", f"vehicle pipeline flushed at frame {i}")
-            else:
-                veh_ok = self.soc.submit_frame("vehicle")
-            ped_ok = self.soc.submit_frame("pedestrian")
-            # Sensor + controller at their own (slower) cadence; the light
-            # sensor is asynchronous to the frame clock, so its samples land
-            # after the tick's frame has been issued.
-            while next_sensor_t <= t:
-                lux = sensor.read(next_sensor_t)
-                change = self.controller.update(next_sensor_t, lux)
-                if change is not None:
-                    self._handle_change(change)
-                next_sensor_t += self.config.sensor_period_s
-            # Fold every fault/degradation event since the last frame into
-            # this frame's audit trail.
-            labels: list[str] = []
-            if fault_plan is not None:
-                labels += [e.label() for e in fault_plan.events[fault_cursor:]]
-                fault_cursor = len(fault_plan.events)
-            labels += [d.label() for d in self.report.degradations[degrade_cursor:]]
-            degrade_cursor = len(self.report.degradations)
-            expected_config = CONFIG_FOR_CONDITION[self.controller.condition].value
-            self.report.frames.append(
-                FrameRecord(
+            with telemetry.span("drive.frame", index=i) as frame_span:
+                sim.run_until(t)
+                # A detector exception on the vehicle accelerator costs that
+                # frame: the partition's per-frame watchdog flushes the
+                # pipeline and the stream resumes on the next tick.  The
+                # static pedestrian partition is never consulted — it cannot
+                # be made to skip a frame.
+                if fault_plan is not None and fault_plan.fire(
+                    FaultSite.PIPELINE_EXCEPTION, "vehicle", t
+                ):
+                    veh_ok = False
+                    self.soc.vehicle.frames_dropped += 1
+                    self._degrade("detector-flush", f"vehicle pipeline flushed at frame {i}")
+                else:
+                    veh_ok = self.soc.submit_frame("vehicle")
+                ped_ok = self.soc.submit_frame("pedestrian")
+                # Sensor + controller at their own (slower) cadence; the
+                # light sensor is asynchronous to the frame clock, so its
+                # samples land after the tick's frame has been issued.
+                while next_sensor_t <= t:
+                    lux = sensor.read(next_sensor_t)
+                    change = self.controller.update(next_sensor_t, lux)
+                    if change is not None:
+                        self._handle_change(change)
+                    next_sensor_t += self.config.sensor_period_s
+                # Fold every fault/degradation event since the last frame
+                # into this frame's audit trail.
+                labels: list[str] = []
+                if fault_plan is not None:
+                    labels += [e.label() for e in fault_plan.events[fault_cursor:]]
+                    fault_cursor = len(fault_plan.events)
+                labels += [d.label() for d in self.report.degradations[degrade_cursor:]]
+                degrade_cursor = len(self.report.degradations)
+                expected_config = CONFIG_FOR_CONDITION[self.controller.condition].value
+                reconfiguring = not self.soc.vehicle.available
+                record = FrameRecord(
                     index=i,
                     time_s=t,
                     condition=self.controller.condition,
@@ -363,13 +412,45 @@ class AdaptiveDetectionSystem:
                     vehicle_accepted=veh_ok,
                     pedestrian_accepted=ped_ok,
                     vehicle_configuration=self.soc.vehicle.configuration or "",
-                    reconfiguring=not self.soc.vehicle.available,
+                    reconfiguring=reconfiguring,
                     faults=tuple(labels),
                     degraded=(
                         self.soc.vehicle.available
                         and self.soc.vehicle.configuration != expected_config
                     ),
                 )
-            )
+                self.report.frames.append(record)
+                if observed:
+                    record.span_id = frame_span.span_id
+                    frame_span.set_attr("condition", record.condition.value)
+                    frame_span.set_attr("vehicle_accepted", veh_ok)
+                    frame_span.set_attr("pedestrian_accepted", ped_ok)
+                    if reconfiguring:
+                        frame_span.set_attr("reconfiguring", True)
+                    if record.degraded:
+                        frame_span.set_attr("degraded", True)
+                    if labels:
+                        frame_span.set_attr("faults", ";".join(labels))
+                    telemetry.counter("drive_frames").inc()
+                    if not veh_ok:
+                        telemetry.counter("drive_vehicle_dropped").inc()
+                    if not ped_ok:
+                        telemetry.counter("drive_pedestrian_dropped").inc()
+            if observed:
+                telemetry.histogram("frame_wall_ms").observe(
+                    frame_span.wall_duration_s * 1e3
+                )
         sim.run_until(duration_s + 0.1)
+        telemetry.tracer.end(
+            drive_span,
+            vehicle_dropped=self.report.vehicle_dropped,
+            pedestrian_dropped=self.report.pedestrian_dropped,
+            reconfigurations=len(self.report.reconfigurations),
+        )
+        if observed:
+            telemetry.counter("reconfigurations_total").inc(len(self.report.reconfigurations))
+            telemetry.gauge("drops_per_reconfiguration").set(
+                self.report.drops_per_reconfiguration()
+            )
+            self.soc.record_telemetry()
         return self.report

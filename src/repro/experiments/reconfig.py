@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.adaptive.sensor import LuxTrace, urban_evening_trace
 from repro.core.system import AdaptiveDetectionSystem, DriveReport, SystemConfig
 from repro.experiments.tables import format_table
+from repro.telemetry.session import Telemetry
 from repro.zynq.pr import (
     ALL_CONTROLLERS,
     THEORETICAL_MAX_MB_S,
@@ -79,11 +80,17 @@ class ThroughputResult:
         }
 
 
-def run_throughput() -> ThroughputResult:
-    """RT: one 8 MB reconfiguration through each controller."""
+def run_throughput(telemetry: Telemetry | None = None) -> ThroughputResult:
+    """RT: one 8 MB reconfiguration through each controller.
+
+    With a recording ``telemetry`` session the measured rates also land in
+    the ``pr_throughput_mbs{controller=...}`` gauges (one series per
+    controller), so the Section IV-A ranking can be re-derived from an
+    exported dump alone.
+    """
     reports: dict[str, ReconfigReport] = {}
     for cls in ALL_CONTROLLERS:
-        soc = ZynqSoC(controller_cls=cls)
+        soc = ZynqSoC(controller_cls=cls, telemetry=telemetry)
         report = soc.reconfigure_vehicle("dark")
         soc.sim.run()
         reports[cls.name] = report
@@ -122,9 +129,15 @@ def run_latency(
     trace: LuxTrace | None = None,
     duration_s: float = 120.0,
     controller_cls: type[BasePrController] | None = None,
+    telemetry: Telemetry | None = None,
 ) -> LatencyResult:
-    """RL: an urban-evening drive with dusk<->dark transitions."""
+    """RL: an urban-evening drive with dusk<->dark transitions.
+
+    With a recording ``telemetry`` session the Section IV-B numbers are
+    also exported as metrics: ``reconfig_ms`` (the ~20 ms histogram),
+    ``reconfigurations_total``, and ``drops_per_reconfiguration``.
+    """
     config = SystemConfig() if controller_cls is None else SystemConfig(controller_cls=controller_cls)
-    system = AdaptiveDetectionSystem(config)
+    system = AdaptiveDetectionSystem(config, telemetry=telemetry)
     drive = system.run_drive(trace or urban_evening_trace(duration_s=duration_s))
     return LatencyResult(drive=drive)

@@ -36,6 +36,8 @@ from repro.imaging.resize import downsample_binary
 from repro.imaging.threshold import binary_threshold, otsu_threshold
 from repro.ml.dbn import DbnConfig, DeepBeliefNetwork
 from repro.pipelines.base import Detection
+from repro.telemetry.metrics import DETECTIONS_BUCKETS
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 from repro.pipelines.taillight import (
     TaillightCandidate,
     TaillightPairMatcher,
@@ -102,11 +104,13 @@ class DarkVehicleDetector:
         config: DarkConfig | None = None,
         dbn: DeepBeliefNetwork | None = None,
         matcher: TaillightPairMatcher | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.config = config or DarkConfig()
         self.dbn = dbn
         self.matcher = matcher
         self.name = "vehicle-dark"
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     # Training ----------------------------------------------------------------
 
@@ -254,12 +258,17 @@ class DarkVehicleDetector:
     def detect(self, frame: np.ndarray, trace: DarkStageTrace | None = None) -> list[Detection]:
         """Stages 1-6: detections in native frame coordinates."""
         self._require_trained()
+        telemetry = self.telemetry
         rgb = ensure_rgb(frame, "frame")
         factor = self._effective_factor(rgb.shape[0], rgb.shape[1])
-        mask = self.preprocess(rgb, trace=trace)
-        class_grid = self.dbn_grid(mask)
-        candidates = self.extract_candidates(class_grid)
-        pairs = self.matcher.match_pairs(candidates)  # type: ignore[union-attr]
+        with telemetry.stage("dark.preprocess"):
+            mask = self.preprocess(rgb, trace=trace)
+        with telemetry.stage("dark.dbn_grid"):
+            class_grid = self.dbn_grid(mask)
+        with telemetry.stage("dark.extract_candidates"):
+            candidates = self.extract_candidates(class_grid)
+        with telemetry.stage("dark.match_pairs"):
+            pairs = self.matcher.match_pairs(candidates)  # type: ignore[union-attr]
         if trace is not None:
             trace.class_grid = class_grid
             trace.candidates = candidates
@@ -284,6 +293,10 @@ class DarkVehicleDetector:
                     },
                 )
             )
+        if telemetry.enabled:
+            telemetry.histogram(
+                "detections_per_frame", bounds=DETECTIONS_BUCKETS, detector=self.name
+            ).observe(float(len(detections)))
         return detections
 
     def classify_crop(self, crop: np.ndarray) -> tuple[bool, float]:

@@ -22,6 +22,8 @@ from repro.imaging.resize import resize_bilinear
 from repro.ml.linear import LinearModel, require_trained
 from repro.ml.svm import LinearSvm, SvmConfig
 from repro.pipelines.base import Detection
+from repro.telemetry.metrics import DETECTIONS_BUCKETS
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -59,11 +61,17 @@ def hog_features_for_dataset(dataset: ClassificationDataset, hog: HogDescriptor)
 class HogSvmVehicleDetector:
     """The reconfigurable day/dusk vehicle-detection configuration."""
 
-    def __init__(self, config: DayDuskConfig | None = None, model: LinearModel | None = None):
+    def __init__(
+        self,
+        config: DayDuskConfig | None = None,
+        model: LinearModel | None = None,
+        telemetry: Telemetry | None = None,
+    ):
         self.config = config or DayDuskConfig()
         self.hog = HogDescriptor(self.config.hog)
         self.model = model
         self.name = "vehicle-day-dusk"
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     # Training (paper Fig. 1) ------------------------------------------------
 
@@ -82,7 +90,7 @@ class HogSvmVehicleDetector:
         pipeline "but with different versions of the trained model which
         are stored in two block RAM".
         """
-        return HogSvmVehicleDetector(self.config, model)
+        return HogSvmVehicleDetector(self.config, model, telemetry=self.telemetry)
 
     # Inference ---------------------------------------------------------------
 
@@ -159,9 +167,16 @@ class HogSvmVehicleDetector:
 
     def detect(self, frame: np.ndarray) -> list[Detection]:
         """Dense single-scale sliding-window detection with NMS."""
+        telemetry = self.telemetry
         rgb = ensure_rgb(frame, "frame")
-        rects, scores = self._scan_plane(luminance(rgb))
-        keep = non_max_suppression(rects, scores, iou_threshold=self.config.nms_iou)
+        with telemetry.stage("day_dusk.hog_scan"):
+            rects, scores = self._scan_plane(luminance(rgb))
+        with telemetry.stage("day_dusk.nms"):
+            keep = non_max_suppression(rects, scores, iou_threshold=self.config.nms_iou)
+        if telemetry.enabled:
+            telemetry.histogram(
+                "detections_per_frame", bounds=DETECTIONS_BUCKETS, detector=self.name
+            ).observe(float(len(keep)))
         return [
             Detection(rect=rects[i], score=scores[i], kind="vehicle")
             for i in keep

@@ -26,6 +26,8 @@ from repro.imaging.resize import resize_bilinear
 from repro.ml.linear import LinearModel, require_trained
 from repro.ml.svm import LinearSvm, SvmConfig
 from repro.pipelines.base import Detection
+from repro.telemetry.metrics import DETECTIONS_BUCKETS
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -43,11 +45,17 @@ class PedestrianConfig:
 class PedestrianDetector:
     """HOG+SVM pedestrian detector living in the static partition."""
 
-    def __init__(self, config: PedestrianConfig | None = None, model: LinearModel | None = None):
+    def __init__(
+        self,
+        config: PedestrianConfig | None = None,
+        model: LinearModel | None = None,
+        telemetry: Telemetry | None = None,
+    ):
         self.config = config or PedestrianConfig()
         self.hog = HogDescriptor(self.config.hog)
         self.model = model
         self.name = "pedestrian"
+        self.telemetry = telemetry or NULL_TELEMETRY
 
     def train_from_frames(self, dataset: DetectionDataset, seed: int = 13) -> LinearModel:
         """Train from annotated frames: ground-truth boxes vs random windows."""
@@ -86,6 +94,7 @@ class PedestrianDetector:
 
     def detect(self, frame: np.ndarray) -> list[Detection]:
         """Dense sliding-window detection with NMS."""
+        telemetry = self.telemetry
         model = require_trained(self.model, self.name)
         plane = luminance(ensure_rgb(frame, "frame"))
         win_h, win_w = self.config.hog.window
@@ -93,16 +102,22 @@ class PedestrianDetector:
             raise PipelineError(
                 f"frame {plane.shape} smaller than detector window {(win_h, win_w)}"
             )
-        blocks, layout = self.hog.extract_dense(plane)
-        positions = layout.window_positions(self.config.window_stride_blocks)
-        if not positions:
-            return []
-        feats = np.stack([layout.window_feature(blocks, r, c) for r, c in positions])
-        scores = model.decision_values(feats)
+        with telemetry.stage("pedestrian.hog_scan"):
+            blocks, layout = self.hog.extract_dense(plane)
+            positions = layout.window_positions(self.config.window_stride_blocks)
+            if not positions:
+                return []
+            feats = np.stack([layout.window_feature(blocks, r, c) for r, c in positions])
+            scores = model.decision_values(feats)
         rects, kept = [], []
         for (r, c), score in zip(positions, scores):
             if score > self.config.decision_threshold:
                 rects.append(layout.window_rect(r, c))
                 kept.append(float(score))
-        keep = non_max_suppression(rects, kept, iou_threshold=self.config.nms_iou)
+        with telemetry.stage("pedestrian.nms"):
+            keep = non_max_suppression(rects, kept, iou_threshold=self.config.nms_iou)
+        if telemetry.enabled:
+            telemetry.histogram(
+                "detections_per_frame", bounds=DETECTIONS_BUCKETS, detector=self.name
+            ).observe(float(len(keep)))
         return [Detection(rect=rects[i], score=kept[i], kind="pedestrian") for i in keep]

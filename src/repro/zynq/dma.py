@@ -90,8 +90,24 @@ class DmaEngine:
         if self.state is DmaState.ERROR:
             raise DmaError(f"{self.name}: in error state; reset() first")
         self.state = DmaState.BUSY
+        span = None
         if self.trace is not None:
-            self.trace.log(self.sim.now, self.name, f"start {descriptor.label} ({descriptor.n_bytes} B)")
+            if self.trace.tracer.enabled:
+                span = self.trace.tracer.begin(
+                    "dma.transfer",
+                    engine=self.name,
+                    label=descriptor.label,
+                    bytes=descriptor.n_bytes,
+                    link=self.link.spec.name,
+                )
+            self.trace.emit(
+                self.sim.now,
+                self.name,
+                "dma.start",
+                f"start {descriptor.label} ({descriptor.n_bytes} B)",
+                label=descriptor.label,
+                bytes=descriptor.n_bytes,
+            )
         inject = self._inject_error_next
         self._inject_error_next = False
         stall_s = 0.0
@@ -103,16 +119,30 @@ class DmaEngine:
             )
             if stall is not None:
                 stall_s = stall.magnitude
+                if span is not None:
+                    span.add_event("dma.stall", self.sim.now, stall_ms=stall_s * 1e3)
                 if self.trace is not None:
-                    self.trace.log(
-                        self.sim.now, self.name, f"stall {stall_s * 1e3:.1f} ms on {descriptor.label}"
+                    self.trace.emit(
+                        self.sim.now,
+                        self.name,
+                        "dma.stall",
+                        f"stall {stall_s * 1e3:.1f} ms on {descriptor.label}",
+                        label=descriptor.label,
+                        stall_ms=stall_s * 1e3,
                     )
 
         def after_setup() -> None:
             if inject:
                 self.state = DmaState.ERROR
                 if self.trace is not None:
-                    self.trace.log(self.sim.now, self.name, f"ERROR on {descriptor.label}")
+                    self.trace.emit(
+                        self.sim.now,
+                        self.name,
+                        "dma.error",
+                        f"ERROR on {descriptor.label}",
+                        label=descriptor.label,
+                    )
+                    self.trace.tracer.end(span, outcome="error")
                 self.interrupts.raise_irq(self.error_line)
                 if on_error is not None:
                     on_error()
@@ -129,7 +159,15 @@ class DmaEngine:
             self.transfers_completed += 1
             self.bytes_transferred += descriptor.n_bytes
             if self.trace is not None:
-                self.trace.log(self.sim.now, self.name, f"done {descriptor.label}")
+                self.trace.emit(
+                    self.sim.now,
+                    self.name,
+                    "dma.done",
+                    f"done {descriptor.label}",
+                    label=descriptor.label,
+                    bytes=descriptor.n_bytes,
+                )
+                self.trace.tracer.end(span, outcome="ok")
             self.interrupts.raise_irq(self.irq_line)
             if on_done is not None:
                 on_done()

@@ -9,10 +9,12 @@ communicate through plain Python calls at event time.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.telemetry.spans import NullTracer, Tracer
 
 
 @dataclass(order=True)
@@ -131,13 +133,56 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only event trace shared by SoC components."""
+    """An event trace shared by SoC components.
 
-    def __init__(self) -> None:
-        self.records: list[TraceRecord] = []
+    Two capture modes:
+
+    * unbounded (default) — every record is kept, as the figure renderers
+      expect for short runs;
+    * ring buffer (``max_records``) — only the newest ``max_records``
+      survive, with ``dropped`` counting evictions.  Long drives attach
+      their simulator traces in this mode so a multi-hour drive cannot
+      grow the trace without bound.
+
+    A :class:`~repro.telemetry.spans.Tracer` may ride along: components
+    that call :meth:`emit` then produce *typed* telemetry events (kind +
+    attributes) alongside the human-readable record, so the same call site
+    feeds both ``python -m repro fig7`` and a Perfetto dump.
+    """
+
+    def __init__(
+        self,
+        max_records: int | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise SimulationError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = max_records
+        self.records: deque[TraceRecord] | list[TraceRecord]
+        if max_records is not None:
+            self.records = deque(maxlen=max_records)
+        else:
+            self.records = []
+        self.dropped = 0
+        self.logged = 0
+        self.tracer = tracer if tracer is not None else NullTracer()
 
     def log(self, time: float, source: str, message: str) -> None:
+        if self.max_records is not None and len(self.records) == self.max_records:
+            self.dropped += 1
         self.records.append(TraceRecord(time=time, source=source, message=message))
+        self.logged += 1
+
+    def emit(self, time: float, source: str, kind: str, message: str, **attrs) -> None:
+        """Typed event: a human-readable record plus a telemetry event.
+
+        ``kind`` is the structured event name ("dma.start", "pr.done",
+        ...); ``attrs`` are its typed attributes.  With the default no-op
+        tracer this is exactly :meth:`log`.
+        """
+        self.log(time, source, message)
+        if self.tracer.enabled:
+            self.tracer.event(kind, time_s=time, source=source, **attrs)
 
     def from_source(self, source: str) -> list[TraceRecord]:
         return [r for r in self.records if r.source == source]

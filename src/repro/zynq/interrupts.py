@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.telemetry.spans import NullTracer, Tracer
 from repro.zynq.events import Simulator
 
 # Interrupt latency: PL->GIC->ISR entry, a few hundred ns on a Zynq.
@@ -30,11 +31,17 @@ class InterruptLine:
 class InterruptController:
     """Latching interrupt controller with per-line handlers."""
 
-    def __init__(self, sim: Simulator, latency_s: float = DEFAULT_IRQ_LATENCY_S):
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_s: float = DEFAULT_IRQ_LATENCY_S,
+        tracer: Tracer | NullTracer | None = None,
+    ):
         if latency_s < 0:
             raise SimulationError("interrupt latency must be >= 0")
         self.sim = sim
         self.latency_s = latency_s
+        self.tracer = tracer if tracer is not None else NullTracer()
         self._lines: dict[str, InterruptLine] = {}
 
     def register(self, name: str) -> InterruptLine:
@@ -57,6 +64,8 @@ class InterruptController:
                 return
             line.pending = False
             line.count += 1
+            if self.tracer.enabled:
+                self.tracer.event("irq.delivered", time_s=self.sim.now, line=name)
             for handler in list(line.handlers):
                 handler(name)
 

@@ -39,6 +39,7 @@ from repro.zynq.bus import (
     LinkSpec,
     Path,
 )
+from repro.telemetry.metrics import throughput_mbs
 from repro.zynq.events import Simulator, Trace
 from repro.zynq.interrupts import InterruptController
 
@@ -69,9 +70,7 @@ class ReconfigReport:
     @property
     def throughput_mb_s(self) -> float:
         """Measured MB/s (decimal MB, as reported in the paper)."""
-        if self.duration_s <= 0:
-            return 0.0
-        return self.size_bytes / self.duration_s / 1e6
+        return throughput_mbs(self.size_bytes, self.duration_s)
 
 
 class BasePrController:
@@ -150,16 +149,39 @@ class BasePrController:
             report.error = "integrity check failed"
             raise ReconfigurationError(f"{self.name}: bitstream {name!r} failed integrity check")
         self.state = PrState.RECONFIGURING
+        span = None
         if self.trace is not None:
-            self.trace.log(self.sim.now, self.name, f"reconfigure -> {name} start")
+            if self.trace.tracer.enabled:
+                span = self.trace.tracer.begin(
+                    "pr.reconfigure",
+                    controller=self.name,
+                    bitstream=name,
+                    bytes=bitstream.size_bytes,
+                    attempt=report.attempt,
+                )
+            self.trace.emit(
+                self.sim.now,
+                self.name,
+                "pr.start",
+                f"reconfigure -> {name} start",
+                bitstream=name,
+                bytes=bitstream.size_bytes,
+            )
         duration = self.transfer_time(bitstream.size_bytes)
         if self.faults is not None:
             stall = self.faults.fire(FaultSite.PR_STALL, name, self.sim.now)
             if stall is not None:
                 duration += stall.magnitude
+                if span is not None:
+                    span.add_event("pr.stall", self.sim.now, stall_ms=stall.magnitude * 1e3)
                 if self.trace is not None:
-                    self.trace.log(
-                        self.sim.now, self.name, f"ICAP stream stalled {stall.magnitude * 1e3:.1f} ms"
+                    self.trace.emit(
+                        self.sim.now,
+                        self.name,
+                        "pr.stall",
+                        f"ICAP stream stalled {stall.magnitude * 1e3:.1f} ms",
+                        bitstream=name,
+                        stall_ms=stall.magnitude * 1e3,
                     )
 
         def complete() -> None:
@@ -170,10 +192,17 @@ class BasePrController:
             report.end_s = self.sim.now
             report.ok = True
             if self.trace is not None:
-                self.trace.log(
+                self.trace.emit(
                     self.sim.now,
                     self.name,
+                    "pr.done",
                     f"reconfigure -> {name} done ({report.throughput_mb_s:.0f} MB/s)",
+                    bitstream=name,
+                    duration_ms=report.duration_s * 1e3,
+                    throughput_mb_s=report.throughput_mb_s,
+                )
+                self.trace.tracer.end(
+                    span, outcome="ok", throughput_mb_s=report.throughput_mb_s
                 )
             self.interrupts.raise_irq(self.irq_line)
             if on_done is not None:
@@ -192,9 +221,14 @@ class BasePrController:
                 report.error = "watchdog timeout"
                 report.timed_out = True
                 if self.trace is not None:
-                    self.trace.log(
-                        self.sim.now, self.name, f"reconfigure -> {name} TIMED OUT"
+                    self.trace.emit(
+                        self.sim.now,
+                        self.name,
+                        "pr.timeout",
+                        f"reconfigure -> {name} TIMED OUT",
+                        bitstream=name,
                     )
+                    self.trace.tracer.end(span, outcome="timeout")
                 self.interrupts.raise_irq(self.error_line)
                 if on_done is not None:
                     on_done(report)

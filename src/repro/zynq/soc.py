@@ -22,12 +22,18 @@ from typing import Callable
 from repro.errors import ReconfigurationError, SimulationError
 from repro.faults.plan import DegradationEvent, FaultPlan
 from repro.hw.timing import HDTV_TIMING, VideoTiming
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
 from repro.zynq.bus import HP_PORT_VIDEO, BusLink, LinkSpec
 from repro.zynq.dma import DmaDescriptor, DmaEngine, DmaState
 from repro.zynq.events import Simulator, Trace
 from repro.zynq.interrupts import InterruptController
 from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
+
+# Ring-buffer bound for the simulator-attached trace: generous for every
+# paper artefact (a 120 s drive logs ~50 k records) yet bounded, so
+# arbitrarily long drives cannot grow the trace without limit.
+TRACE_MAX_RECORDS = 200_000
 
 # HDTV frame payload: 1920 x 1080 x 2 B (YCbCr 4:2:2).
 FRAME_BYTES = HDTV_TIMING.width * HDTV_TIMING.height * 2
@@ -67,10 +73,14 @@ class ZynqSoC:
         timing: VideoTiming = HDTV_TIMING,
         faults: FaultPlan | None = None,
         pr_timeout_s: float | None = None,
+        telemetry: Telemetry | None = None,
+        trace_max_records: int | None = TRACE_MAX_RECORDS,
     ):
         self.sim = Simulator()
-        self.trace = Trace()
-        self.interrupts = InterruptController(self.sim)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry.bind_clock(lambda: self.sim.now)
+        self.trace = Trace(max_records=trace_max_records, tracer=self.telemetry.tracer)
+        self.interrupts = InterruptController(self.sim, tracer=self.telemetry.tracer)
         self.timing = timing
         self.repository = repository or paper_bitstreams()
         self.faults = faults
@@ -117,7 +127,15 @@ class ZynqSoC:
         self.reconfigurations: list[ReconfigReport] = []
 
     def _degrade(self, kind: str, detail: str = "") -> None:
-        self.trace.log(self.sim.now, "soc", f"degrade {kind}: {detail}" if detail else f"degrade {kind}")
+        self.trace.emit(
+            self.sim.now,
+            "soc",
+            "soc.degrade",
+            f"degrade {kind}: {detail}" if detail else f"degrade {kind}",
+            action=kind,
+            detail=detail,
+        )
+        self.telemetry.counter("degradations_total", kind=kind).inc()
         if self.on_degradation is not None:
             self.on_degradation(DegradationEvent(time_s=self.sim.now, kind=kind, detail=detail))
 
@@ -146,7 +164,15 @@ class ZynqSoC:
         detector, in_dma, out_dma = self._detector_and_dmas(which)
         if not detector.available or detector.busy:
             detector.frames_dropped += 1
-            self.trace.log(self.sim.now, detector.name, "frame dropped")
+            self.trace.emit(
+                self.sim.now,
+                detector.name,
+                "frame.dropped",
+                "frame dropped",
+                detector=detector.name,
+                reason="reconfiguring" if not detector.available else "ingress-busy",
+            )
+            self.telemetry.counter("frames_dropped", detector=detector.name).inc()
             return False
         detector.busy = True
 
@@ -172,6 +198,7 @@ class ZynqSoC:
 
         def finish() -> None:
             detector.frames_processed += 1
+            self.telemetry.counter("frames_processed", detector=detector.name).inc()
             if on_result is not None:
                 on_result()
 
@@ -213,7 +240,13 @@ class ZynqSoC:
         if not self.vehicle.available:
             raise ReconfigurationError("vehicle partition is already reconfiguring")
         self.vehicle.available = False
-        self.trace.log(self.sim.now, "soc", f"vehicle partition down for PR -> {configuration}")
+        self.trace.emit(
+            self.sim.now,
+            "soc",
+            "partition.down",
+            f"vehicle partition down for PR -> {configuration}",
+            configuration=configuration,
+        )
 
         if self.pr.occupies_hp_port():
             # ZyCAP-style: the bitstream pull occupies HP0 alongside the
@@ -226,7 +259,17 @@ class ZynqSoC:
             self.vehicle.available = True
             if report.ok:
                 self.vehicle.configuration = configuration
-                self.trace.log(self.sim.now, "soc", f"vehicle partition up ({configuration})")
+                self.trace.emit(
+                    self.sim.now,
+                    "soc",
+                    "partition.up",
+                    f"vehicle partition up ({configuration})",
+                    configuration=configuration,
+                )
+                self.telemetry.histogram("reconfig_ms").observe(report.duration_s * 1e3)
+                self.telemetry.gauge(
+                    "pr_throughput_mbs", controller=report.controller
+                ).set(report.throughput_mb_s)
             else:
                 # Failed load: the partition keeps its last-good image (the
                 # PR flow never altered the active frames before ICAP ran).
@@ -255,9 +298,43 @@ class ZynqSoC:
         if not self.vehicle.available:
             raise ReconfigurationError("cannot swap models during reconfiguration")
         self.vehicle_model = model_name
-        self.trace.log(self.sim.now, "soc", f"vehicle model swap -> {model_name}")
+        self.trace.emit(
+            self.sim.now,
+            "soc",
+            "model.swap",
+            f"vehicle model swap -> {model_name}",
+            model=model_name,
+        )
+        self.telemetry.counter("model_swaps").inc()
 
     # Reporting ----------------------------------------------------------------
+
+    def record_telemetry(self) -> None:
+        """Publish the SoC's cumulative counters into the metrics registry.
+
+        Called at the end of a drive (or any time): bytes moved per HP-port
+        hop and per DMA engine, link busy time, and interrupt deliveries all
+        become labelled gauges, so an exported snapshot carries the full
+        Fig. 6 data-movement audit.
+        """
+        if not self.telemetry.enabled:
+            return
+        for link in (self.hp0, self.hp1, self.hp2):
+            self.telemetry.gauge("link_bytes_moved", link=link.spec.name).set(link.bytes_moved)
+            self.telemetry.gauge("link_busy_s", link=link.spec.name).set(link.busy_time)
+        for dma in (self.ped_in_dma, self.ped_out_dma, self.veh_in_dma, self.veh_out_dma):
+            self.telemetry.gauge("dma_bytes_transferred", engine=dma.name).set(
+                dma.bytes_transferred
+            )
+        for line in (
+            self.ped_in_dma.irq_line,
+            self.ped_out_dma.irq_line,
+            self.veh_in_dma.irq_line,
+            self.veh_out_dma.irq_line,
+            self.pr.irq_line,
+            self.pr.error_line,
+        ):
+            self.telemetry.gauge("irq_delivered", line=line).set(self.interrupts.count(line))
 
     def stats(self) -> dict:
         return {

@@ -1,0 +1,94 @@
+"""Tests for repro.telemetry.metrics: series, registry, timing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    Stopwatch,
+    snapshot_values,
+    throughput_mbs,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestThroughputHelper:
+    def test_paper_number(self):
+        # 8 MB in ~20.5 ms is the paper's ~390 MB/s.
+        assert throughput_mbs(8_000_000, 0.02051) == pytest.approx(390.0, abs=0.5)
+
+    def test_empty_interval_is_zero_not_an_error(self):
+        assert throughput_mbs(1_000, 0.0) == 0.0
+        assert throughput_mbs(1_000, -1.0) == 0.0
+
+    def test_stopwatch_measures_injected_clock(self):
+        ticks = iter([10.0, 10.5])
+        with Stopwatch(wall_clock=lambda: next(ticks)) as sw:
+            pass
+        assert sw.elapsed_s == pytest.approx(0.5)
+        assert sw.throughput_mbs(5_000_000) == pytest.approx(10.0)
+
+
+class TestSeries:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_stats(self):
+        hist = MetricsRegistry().histogram("lat_ms", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1, 1]  # one overflow
+        assert hist.count == 4
+        assert hist.min == 0.5
+        assert hist.max == 500.0
+        assert hist.mean == pytest.approx(138.875)
+
+    def test_histogram_bounds_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", bounds=(10.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("empty", bounds=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("drops", detector="vehicle")
+        b = registry.counter("drops", detector="vehicle")
+        other = registry.counter("drops", detector="pedestrian")
+        assert a is b
+        assert a is not other
+        assert len(registry) == 2
+
+    def test_value_lookup(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", detector="vehicle").inc(3)
+        registry.gauge("mbs", controller="paper-pr").set(390.0)
+        assert registry.value("drops", detector="vehicle") == 3.0
+        assert registry.value("mbs", controller="paper-pr") == 390.0
+        assert registry.value("missing") is None
+
+    def test_snapshot_round_trips_through_snapshot_values(self):
+        registry = MetricsRegistry()
+        registry.counter("faults", site="dma-error").inc(2)
+        registry.histogram("reconfig_ms").observe(20.5)
+        table = snapshot_values(registry.snapshot())
+        assert table["faults"][(("site", "dma-error"),)] == 2.0
+        assert table["reconfig_ms"][()] == pytest.approx(20.5)

@@ -46,6 +46,69 @@ class TestCli:
         assert "divergence" in capsys.readouterr().out
 
 
+class TestCliErrorPaths:
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["drive", "--trace", "volcano"])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["drive", "--duration", "0"])
+        with pytest.raises(SystemExit):
+            main(["drive", "--duration", "-5"])
+
+    def test_unknown_fault_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["drive", "--fault-plan", "gremlins"])
+
+    def test_unknown_telemetry_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["drive", "--telemetry-format", "xml"])
+
+    def test_telemetry_command_requires_input(self, capsys):
+        assert main(["telemetry"]) == 2
+        assert "--telemetry-in" in capsys.readouterr().err
+
+    def test_telemetry_command_missing_file(self, capsys):
+        assert main(["telemetry", "--telemetry-in", "/nonexistent/dump.jsonl"]) == 1
+        assert "telemetry:" in capsys.readouterr().err
+
+    def test_telemetry_command_rejects_garbage_file(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        assert main(["telemetry", "--telemetry-in", str(path)]) == 1
+        assert "not valid JSONL" in capsys.readouterr().err
+
+
+class TestCliTelemetry:
+    def test_drive_exports_chrome_trace_that_round_trips(self, tmp_path, capsys):
+        """Acceptance: drive --telemetry-out produces a Chrome trace that
+        ``python -m repro telemetry`` summarises."""
+        path = str(tmp_path / "drive.trace.json")
+        assert main([
+            "drive", "--duration", "10",
+            "--telemetry-out", path, "--telemetry-format", "chrome",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "(chrome)" in out
+
+        import json
+
+        with open(path) as fh:
+            document = json.load(fh)
+        assert any(e["name"] == "drive.frame" for e in document["traceEvents"])
+
+        assert main(["telemetry", "--telemetry-in", path]) == 0
+        summary = capsys.readouterr().out
+        assert "telemetry report" in summary
+        assert "drive.frame" in summary
+        assert "drive_frames: 500" in summary
+
+    def test_drive_without_telemetry_prints_no_telemetry_line(self, capsys):
+        assert main(["drive", "--duration", "5"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+
 class TestExtensibility:
     def test_animal_configuration_fits_paper_partition(self):
         """The paper's motivating extra ADS feature drops into the same RP."""

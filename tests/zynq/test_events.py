@@ -98,3 +98,39 @@ class TestTrace:
         trace.log(2.0, "dma", "done")
         assert len(trace) == 3
         assert [r.message for r in trace.from_source("dma")] == ["start", "done"]
+
+    def test_unbounded_by_default(self):
+        trace = Trace()
+        for i in range(1000):
+            trace.log(float(i), "src", f"m{i}")
+        assert len(trace) == 1000
+        assert trace.dropped == 0
+        assert trace.logged == 1000
+
+    def test_ring_buffer_keeps_newest_records(self):
+        trace = Trace(max_records=3)
+        for i in range(7):
+            trace.log(float(i), "src", f"m{i}")
+        assert len(trace) == 3
+        assert [r.message for r in trace.records] == ["m4", "m5", "m6"]
+        assert trace.dropped == 4
+        assert trace.logged == 7
+
+    def test_max_records_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Trace(max_records=0)
+
+    def test_emit_logs_human_record_without_tracer(self):
+        trace = Trace()
+        trace.emit(1.0, "pr", "pr.done", "reconfigure done", bitstream="dark")
+        assert [r.message for r in trace.records] == ["reconfigure done"]
+
+    def test_emit_forwards_typed_event_to_tracer(self):
+        from repro.telemetry.spans import Tracer
+
+        tracer = Tracer()
+        trace = Trace(tracer=tracer)
+        trace.emit(2.0, "pr", "pr.done", "reconfigure done", bitstream="dark")
+        (span,) = tracer.finished_spans("pr.done")
+        assert span.start_s == 2.0
+        assert span.attrs == {"source": "pr", "bitstream": "dark"}
