@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# The one-command local CI gate: style, types, project invariants, tests.
+#
+#   ./scripts/check.sh          # everything
+#   ./scripts/check.sh --fast   # skip the (slow) full pytest tier
+#
+# ruff and mypy come from the optional `lint` extra (pip install -e .[lint]);
+# when they are not installed the gate reports and skips them rather than
+# failing, so the script works in the minimal offline environment too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+status=0
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check"
+    ruff check src tests benchmarks || status=1
+else
+    echo "== ruff not installed; skipping (pip install -e .[lint])"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy"
+    mypy || status=1
+else
+    echo "== mypy not installed; skipping (pip install -e .[lint])"
+fi
+
+echo "== repro lint (determinism / units / telemetry hygiene)"
+PYTHONPATH=src python -m repro lint src || status=1
+
+if [[ $fast -eq 0 ]]; then
+    echo "== pytest (tier 1)"
+    PYTHONPATH=src python -m pytest -x -q || status=1
+else
+    echo "== pytest: skipped (--fast); run the analysis tier at least:"
+    PYTHONPATH=src python -m pytest -x -q -m analysis || status=1
+fi
+
+if [[ $status -eq 0 ]]; then
+    echo "check.sh: all gates passed"
+else
+    echo "check.sh: FAILED" >&2
+fi
+exit $status

@@ -15,6 +15,8 @@ Subpackages:
 * :mod:`repro.faults`    — deterministic fault plans and scenarios.
 * :mod:`repro.telemetry` — structured tracing, metrics, and exporters.
 * :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.analysis`  — reprolint, the project's static-analysis pass.
+* :mod:`repro.rng`       — the sanctioned seeded-RNG construction point.
 """
 
 __version__ = "1.0.0"

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan, FaultSite
+from repro.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -147,7 +148,7 @@ class LightSensor:
             raise ConfigurationError(
                 f"dropout_probability must be in [0, 1), got {self.dropout_probability}"
             )
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = make_rng(self.seed)
         self._last = self.trace.lux_at(0.0)
 
     def read(self, time_s: float) -> float:

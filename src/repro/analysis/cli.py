@@ -1,0 +1,94 @@
+"""The ``python -m repro lint`` subcommand.
+
+Exit codes follow linter convention: 0 clean, 1 violations found,
+2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+from repro.analysis.config import DEFAULT_CONFIG
+from repro.analysis.core import all_rules, analyze_paths, iter_python_files
+from repro.analysis.reporters import render_json, render_text
+from repro.errors import ConfigurationError
+
+
+def _parse_rule_list(raw: str | None) -> tuple[str, ...]:
+    if not raw:
+        return ()
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    known = {rule.id for rule in all_rules()}
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown rule(s): {', '.join(unknown)} (known: {', '.join(sorted(known))})"
+        )
+    return names
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run reprolint over the given paths; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="reprolint: determinism / unit-naming / telemetry-hygiene checks",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(rule.id) for rule in all_rules())
+        for rule in all_rules():
+            print(f"  {rule.id:<{width}}  {rule.summary}")
+        return 0
+
+    try:
+        config = replace(
+            DEFAULT_CONFIG,
+            select=_parse_rule_list(args.select),
+            ignore=_parse_rule_list(args.ignore),
+        )
+        paths = args.paths or ["src"]
+        files_checked = sum(1 for _ in iter_python_files(paths))
+        violations = analyze_paths(paths, config)
+    except ConfigurationError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(violations, files_checked=files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro lint
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Per-rule configuration for reprolint.
+
+Everything a rule needs to know about *this* repository lives here: which
+packages are simulation domains (and therefore must be deterministic),
+which module is the sanctioned RNG injection point, what the telemetry
+event vocabulary is, and which packages form the documented public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_event_vocabulary() -> frozenset[str]:
+    # Single source of truth: the vocabulary declared next to Trace.emit.
+    from repro.zynq.events import EVENT_KINDS
+
+    return EVENT_KINDS
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Repository-specific knobs consumed by the rules.
+
+    Attributes:
+        sim_domains: Packages whose behaviour feeds paper numbers; the
+            determinism rules apply only inside them.
+        clock_injection_modules: Modules allowed to touch the host wall
+            clock (the telemetry layer injects it everywhere else).
+        rng_helper_module: The one module allowed to construct raw RNGs;
+            everything else goes through its helpers.
+        unit_stems: Name fragments that mark a value as time- or
+            throughput-like and therefore unit-bearing.
+        unit_suffixes: Accepted unit suffixes (the paper's units).
+        event_vocabulary: Legal ``Trace.emit`` event kinds.
+        api_packages: Packages whose public surface must carry docstrings
+            and complete type annotations.
+        span_exempt_modules: Modules implementing the span machinery
+            itself (exempt from the context-manager rule).
+        select: When non-empty, only these rule ids run.
+        ignore: Rule ids to skip.
+    """
+
+    sim_domains: tuple[str, ...] = (
+        "repro.zynq",
+        "repro.core",
+        "repro.faults",
+        "repro.pipelines",
+        "repro.adaptive",
+        "repro.experiments",
+    )
+    clock_injection_modules: tuple[str, ...] = ("repro.telemetry",)
+    rng_helper_module: str = "repro.rng"
+    unit_stems: frozenset[str] = frozenset(
+        {
+            "duration",
+            "latency",
+            "timeout",
+            "elapsed",
+            "interval",
+            "delay",
+            "period",
+            "deadline",
+            "throughput",
+            "bandwidth",
+        }
+    )
+    unit_suffixes: frozenset[str] = frozenset(
+        {"s", "ms", "us", "ns", "mbs", "bps", "fps", "hz", "mhz", "cycles", "frames"}
+    )
+    event_vocabulary: frozenset[str] = field(default_factory=_default_event_vocabulary)
+    api_packages: tuple[str, ...] = ("repro.pipelines", "repro.zynq")
+    span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
+    select: tuple[str, ...] = ()
+    ignore: tuple[str, ...] = ()
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """Whether a rule participates under the select/ignore filters."""
+        if self.select and rule_id not in self.select:
+            return False
+        return rule_id not in self.ignore
+
+    def in_sim_domain(self, module: str) -> bool:
+        """True when ``module`` lives in a determinism-critical package."""
+        return any(
+            module == pkg or module.startswith(pkg + ".") for pkg in self.sim_domains
+        )
+
+    def in_api_package(self, module: str) -> bool:
+        """True when ``module`` is part of the documented public API."""
+        return any(
+            module == pkg or module.startswith(pkg + ".") for pkg in self.api_packages
+        )
+
+    def is_clock_injection_point(self, module: str) -> bool:
+        """True for modules allowed to read the host wall clock."""
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.clock_injection_modules
+        )
+
+    def is_rng_helper(self, module: str) -> bool:
+        """True for the sanctioned raw-RNG module."""
+        return module == self.rng_helper_module
+
+    def is_span_exempt(self, module: str) -> bool:
+        """True for modules implementing the span machinery."""
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.span_exempt_modules
+        )
+
+
+DEFAULT_CONFIG = LintConfig()

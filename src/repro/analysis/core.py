@@ -1,0 +1,255 @@
+"""reprolint framework: violations, the rule registry, and the driver.
+
+A rule is a class with an ``id``, a one-line ``summary``, and a
+``check(module)`` generator over :class:`Violation`.  Rules register
+themselves with the :func:`register` decorator at import time; the driver
+parses each file once and hands every enabled rule the same
+:class:`ModuleContext`.
+
+Suppressions are noqa-style comments tied to the violation's line::
+
+    x = wall_clock()            # reprolint: skip
+    y = wall_clock()            # reprolint: skip=determinism-clock
+    # reprolint: skip-file          (first 10 lines: whole file)
+    # reprolint: skip-file=unit-suffix,public-api
+
+A blanket ``skip`` silences every rule on that line; a ``skip=`` list
+silences only the named rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.errors import ConfigurationError
+
+_PRAGMA = re.compile(r"#\s*reprolint:\s*(skip-file|skip)(?:=([\w,-]+))?")
+_SKIP_FILE_SCAN_LINES = 10
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule_id}] {self.message}"
+
+
+@dataclass
+class _Suppressions:
+    """Parsed pragma comments for one file."""
+
+    file_wide: set[str] = field(default_factory=set)  # rule ids; "*" = all
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+
+    def suppressed(self, violation: Violation) -> bool:
+        if "*" in self.file_wide or violation.rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(violation.line)
+        if rules is None:
+            return False
+        return "*" in rules or violation.rule_id in rules
+
+
+def _parse_suppressions(source_lines: list[str]) -> _Suppressions:
+    sup = _Suppressions()
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        kind, names = match.groups()
+        rules = set(names.split(",")) if names else {"*"}
+        if kind == "skip-file":
+            if lineno <= _SKIP_FILE_SCAN_LINES:
+                sup.file_wide |= rules
+        else:
+            sup.by_line.setdefault(lineno, set()).update(rules)
+    return sup
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule sees for one parsed file."""
+
+    path: str
+    module: str  # dotted name, e.g. "repro.zynq.bitstream"
+    tree: ast.Module
+    source_lines: list[str]
+    config: LintConfig
+
+    _parents: dict[ast.AST, ast.AST] = field(default_factory=dict, repr=False)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (computed lazily, cached)."""
+        if not self._parents:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents.get(node)
+
+
+class Rule:
+    """Base class: subclasses override ``id``, ``summary``, ``check``."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Convenience constructor anchored at ``node``."""
+        return Violation(
+            rule_id=self.id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not cls.id:
+        raise ConfigurationError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ConfigurationError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    _load_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id."""
+    _load_rules()
+    if rule_id not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown rule {rule_id!r} (known: {', '.join(sorted(_REGISTRY))})"
+        )
+    return _REGISTRY[rule_id]
+
+
+def _load_rules() -> None:
+    # Importing the package triggers every @register decorator exactly once.
+    import repro.analysis.rules  # noqa: F401
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the ``repro`` package.
+
+    Files outside a ``repro`` package tree (tests, scratch files) get a
+    name derived from their stem, which places them outside every
+    domain-scoped rule.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [path.stem]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def analyze_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+) -> list[Violation]:
+    """Run every enabled rule over one source string."""
+    cfg = config or DEFAULT_CONFIG
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id="syntax-error",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source_lines=source.splitlines(),
+        config=cfg,
+    )
+    suppressions = _parse_suppressions(ctx.source_lines)
+    found: list[Violation] = []
+    for rule in all_rules():
+        if not cfg.rule_enabled(rule.id):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.suppressed(violation):
+                found.append(violation)
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return found
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], config: LintConfig | None = None
+) -> list[Violation]:
+    """Run the analyzer over files/directories; returns sorted violations."""
+    found: list[Violation] = []
+    for path in iter_python_files(paths):
+        found.extend(
+            analyze_source(
+                path.read_text(encoding="utf-8"),
+                module=module_name_for(path),
+                path=str(path),
+                config=config,
+            )
+        )
+    return found

@@ -1,0 +1,31 @@
+"""Violation reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Violation
+
+
+def render_text(violations: list[Violation], *, files_checked: int) -> str:
+    """ruff-style one-line-per-violation report with a summary tail."""
+    lines = [v.render() for v in violations]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(
+        f"reprolint: {len(violations)} {noun} in {files_checked} files checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(violations: list[Violation], *, files_checked: int) -> str:
+    """Stable JSON document: summary header plus one entry per violation."""
+    return json.dumps(
+        {
+            "tool": "reprolint",
+            "files_checked": files_checked,
+            "violation_count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,9 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.analysis.rules import (  # noqa: F401
+    api,
+    determinism,
+    robustness,
+    telemetry,
+    units,
+)

@@ -1,0 +1,86 @@
+"""Public-API documentation rule for the pipelines and zynq packages.
+
+These two packages are the reproduction's load-bearing surface — the
+detection pipelines the tables are built from and the SoC model the
+latency numbers come out of.  Every public function, class, and method
+there must carry a docstring and complete type annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = node.args
+    missing = [
+        arg.arg
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        if arg.arg not in ("self", "cls") and arg.annotation is None
+    ]
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            missing.append("*" + star.arg)
+    return missing
+
+
+@register
+class PublicApiRule(Rule):
+    """Public surface of the API packages is documented and typed."""
+
+    id = "public-api"
+    summary = (
+        "public functions/classes/methods in repro.pipelines and repro.zynq "
+        "need docstrings and complete type annotations"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if not module.config.in_api_package(module.module):
+            return
+        for statement in module.tree.body:
+            if isinstance(statement, _FuncDef) and _public(statement.name):
+                yield from self._check_function(module, statement, statement.name)
+            elif isinstance(statement, ast.ClassDef) and _public(statement.name):
+                if not ast.get_docstring(statement):
+                    yield self.violation(
+                        module,
+                        statement,
+                        f"public class {statement.name} has no docstring",
+                    )
+                for member in statement.body:
+                    if isinstance(member, _FuncDef) and _public(member.name):
+                        yield from self._check_function(
+                            module, member, f"{statement.name}.{member.name}"
+                        )
+
+    def _check_function(
+        self,
+        module: ModuleContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+    ) -> Iterator[Violation]:
+        if not ast.get_docstring(node):
+            yield self.violation(
+                module, node, f"public function {qualname}() has no docstring"
+            )
+        if node.returns is None:
+            yield self.violation(
+                module, node, f"public function {qualname}() has no return annotation"
+            )
+        missing = _missing_annotations(node)
+        if missing:
+            yield self.violation(
+                module,
+                node,
+                f"public function {qualname}() has unannotated parameters: "
+                + ", ".join(missing),
+            )

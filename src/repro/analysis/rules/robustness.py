@@ -1,0 +1,97 @@
+"""Robustness rules: no swallowed errors, no mutable default arguments.
+
+The graceful-degradation paths (PR 1) promise that every fault leaves an
+audit trail; a bare ``except`` or an ``except Exception: pass`` is a
+degradation event that never reaches the FrameRecord/ReconfigReport log.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    if isinstance(statement, ast.Pass):
+        return True
+    return (
+        isinstance(statement, ast.Expr)
+        and isinstance(statement.value, ast.Constant)
+        and statement.value.value is ...
+    )
+
+
+def _broad_names(handler_type: ast.expr) -> bool:
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(isinstance(e, ast.Name) and e.id in _BROAD for e in handler_type.elts)
+    return False
+
+
+@register
+class SwallowedErrorRule(Rule):
+    """No bare ``except:`` and no silently dropped broad exceptions."""
+
+    id = "swallowed-error"
+    summary = (
+        "no bare except clauses, and except Exception handlers must do "
+        "something (degradations leave an audit trail)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    module,
+                    node,
+                    "bare except clause catches SystemExit/KeyboardInterrupt "
+                    "too; name the exception types",
+                )
+            elif _broad_names(node.type) and all(_is_noop(s) for s in node.body):
+                yield self.violation(
+                    module,
+                    node,
+                    "broad exception silently swallowed; record the failure "
+                    "(audit trail) or narrow the type",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default argument values."""
+
+    id = "mutable-default"
+    summary = "no list/dict/set literals (or constructors) as parameter defaults"
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                mutable = isinstance(
+                    default,
+                    (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CALLS
+                )
+                if mutable:
+                    owner = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        module,
+                        default,
+                        f"mutable default argument in {owner}(); use None and "
+                        "construct inside the body (or a dataclass field factory)",
+                    )

@@ -1,0 +1,94 @@
+"""Telemetry-hygiene rules: span lifetimes and the event vocabulary.
+
+A ``tracer.span(...)`` held outside a ``with`` block is a span leak — it
+never closes, never records, and silently skews every aggregate derived
+from the dump.  An ``emit`` kind outside the declared vocabulary is an
+event no summary, exporter filter, or acceptance test will ever look for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+
+@register
+class SpanContextRule(Rule):
+    """``.span(...)`` is only legal as a ``with`` context manager."""
+
+    id = "span-context"
+    summary = (
+        "Tracer.span(...) must be used as a context manager (use "
+        "begin()/end() for callback-driven spans)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if module.config.is_span_exempt(module.module):
+            return
+        with_items: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_items.add(id(item.context_expr))
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in with_items
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "span() result used outside a with-statement (span leak); "
+                    "use tracer.begin()/end() for callback-driven spans",
+                )
+
+
+@register
+class EventVocabularyRule(Rule):
+    """``Trace.emit`` kinds come from the declared vocabulary."""
+
+    id = "event-vocabulary"
+    summary = (
+        "Trace.emit event kinds must be string literals from the declared "
+        "vocabulary (repro.zynq.events.EVENT_KINDS)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        vocabulary = module.config.event_vocabulary
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+            ):
+                continue
+            # Trace.emit(time, source, kind, message, **attrs)
+            kind_node: ast.expr | None = None
+            if len(node.args) >= 3:
+                kind_node = node.args[2]
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind_node = keyword.value
+            if kind_node is None:
+                continue
+            if not (isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str)):
+                yield self.violation(
+                    module,
+                    kind_node if kind_node is not None else node,
+                    "emit kind must be a string literal so the vocabulary "
+                    "is statically checkable",
+                )
+                continue
+            if kind_node.value not in vocabulary:
+                known = ", ".join(sorted(vocabulary))
+                yield self.violation(
+                    module,
+                    kind_node,
+                    f"emit kind {kind_node.value!r} is not in the declared "
+                    f"event vocabulary ({known}); add it to "
+                    "repro.zynq.events.EVENT_KINDS first",
+                )

@@ -1,0 +1,78 @@
+"""Unit-suffix naming: time/throughput values must say their unit.
+
+The paper's numbers are unit-laden (390 MB/s, 20 ms, 50 fps); a
+``duration`` field that might be seconds or milliseconds is exactly how a
+reproduction silently misreads them.  Any parameter or annotated field
+whose name contains a time- or throughput-like stem must end in a unit
+suffix (``_s``, ``_ms``, ``_us``, ``_mbs``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+#: Annotations that clearly carry no physical unit.
+_NON_NUMERIC = frozenset({"str", "bool", "bytes", "Callable"})
+
+
+def _clearly_non_numeric(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _NON_NUMERIC
+    return isinstance(node, ast.Name) and node.id in _NON_NUMERIC
+
+
+def missing_unit_suffix(name: str, module: ModuleContext) -> bool:
+    """True when ``name`` looks unit-bearing but declares no unit."""
+    cfg = module.config
+    tokens = name.lower().split("_")
+    if not any(token in cfg.unit_stems for token in tokens):
+        return False
+    return tokens[-1] not in cfg.unit_suffixes
+
+
+@register
+class UnitSuffixRule(Rule):
+    """Time/throughput names must end in a unit suffix."""
+
+    id = "unit-suffix"
+    summary = (
+        "parameters and fields named like durations/throughputs must carry "
+        "a unit suffix (_s/_ms/_us/_mbs/...)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        suffixes = "/".join(sorted(module.config.unit_suffixes))
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                    if arg.arg in ("self", "cls"):
+                        continue
+                    if _clearly_non_numeric(arg.annotation):
+                        continue
+                    if missing_unit_suffix(arg.arg, module):
+                        yield self.violation(
+                            module,
+                            arg,
+                            f"parameter {arg.arg!r} of {node.name}() carries a "
+                            f"time/throughput quantity but no unit suffix "
+                            f"(expected one of: {suffixes})",
+                        )
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _clearly_non_numeric(node.annotation):
+                    continue
+                if missing_unit_suffix(node.target.id, module):
+                    yield self.violation(
+                        module,
+                        node.target,
+                        f"field {node.target.id!r} carries a time/throughput "
+                        f"quantity but no unit suffix (expected one of: {suffixes})",
+                    )

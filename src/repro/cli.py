@@ -11,6 +11,7 @@
     python -m repro drive [--trace T] [--duration D] [--fault-plan P]
                           [--telemetry-out PATH] [--telemetry-format F]
     python -m repro telemetry --telemetry-in PATH   # summarise a dump
+    python -m repro lint [PATHS] [--format text|json] [--select R] [--ignore R]
     python -m repro all [--scale S]      # everything, in paper order
 """
 
@@ -226,6 +227,13 @@ COMMANDS: dict[str, tuple[Callable, str]] = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv[:1] == ["lint"]:
+        # The lint subcommand has its own option surface (paths, --format,
+        # --select, ...); delegate before the artefact parser sees it.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artefacts of the DATE'19 adaptive-detection paper.",
@@ -306,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
         width = max(len(name) for name in COMMANDS)
         for name in sorted(COMMANDS):
             print(f"  {name:<{width}}  {COMMANDS[name][1]}")
+        print(f"  {'lint':<{width}}  reprolint static analysis over src/ (see ANALYSIS.md)")
         return 0
 
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

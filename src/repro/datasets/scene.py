@@ -34,6 +34,7 @@ from repro.errors import DatasetError
 from repro.imaging.draw import fill_rect, light_glow
 from repro.imaging.geometry import Rect
 from repro.imaging.image import additive_light
+from repro.rng import make_rng
 
 
 @dataclass
@@ -281,7 +282,7 @@ def apply_sensor_model(image: np.ndarray, lighting: LightingModel, rng: np.rando
 
 def render_scene(config: SceneConfig, lighting: LightingModel) -> SceneFrame:
     """Render a full frame with vehicles, pedestrians, and distractors."""
-    rng = np.random.default_rng(config.seed)
+    rng = make_rng(config.seed)
     height, width = config.height, config.width
     reflectance, emissive = render_background(height, width, lighting, rng, config.horizon)
     objects: list[SceneObject] = []

@@ -25,6 +25,7 @@ from repro.datasets.scene import (
 )
 from repro.datasets.vehicles import random_vehicle_spec, render_vehicle
 from repro.errors import DatasetError
+from repro.rng import make_rng
 
 
 @dataclass
@@ -77,7 +78,7 @@ def render_sequence(
     fresh identity.
     """
     scfg = config.scene
-    rng = np.random.default_rng(scfg.seed)
+    rng = make_rng(scfg.seed)
     height, width = scfg.height, scfg.width
     horizon_y = int(height * scfg.horizon)
     fill_far, fill_near = scfg.vehicle_fill
@@ -110,13 +111,13 @@ def render_sequence(
     for _frame_idx in range(config.n_frames):
         # Backgrounds redraw per frame (sensor noise is temporal anyway) but
         # from a frame-local generator so object placement is not consumed.
-        bg_rng = np.random.default_rng(scfg.seed + 7919)
+        bg_rng = make_rng(scfg.seed + 7919)
         reflectance, emissive = render_background(height, width, lighting, bg_rng, scfg.horizon)
         objects: list[SceneObject] = []
         # Far-to-near draw order.
         for state in sorted(states, key=lambda s: s.depth):
             vw = max(10, int(width * (fill_far + (fill_near - fill_far) * state.depth)))
-            spec_rng = np.random.default_rng(state.spec_seed)
+            spec_rng = make_rng(state.spec_seed)
             spec = random_vehicle_spec(spec_rng, vw)
             braking = state.brake_frames > 0
             frame_lighting = lighting

@@ -42,6 +42,7 @@ from repro.datasets.scene import (
     render_vehicle_crop,
 )
 from repro.errors import DatasetError
+from repro.rng import make_rng
 
 # Table I test-set sizes, read off the paper's TP/TN/FP/FN columns.
 UPM_TEST_POS = 200
@@ -94,7 +95,7 @@ def make_upm_like(
     seed: int = 0,
 ) -> ClassificationDataset:
     """Day-condition classification corpus (UPM stand-in)."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     images, labels = _render_crops(
         sample_day_lighting, n_positive, n_negative, size, rng,
         fill_range=UPM_FILL_RANGE, center_jitter=0.03,
@@ -125,7 +126,7 @@ def make_sysu_like(
         raise DatasetError(
             f"very dark positives ({n_very_dark_positive}) exceed positives ({n_positive})"
         )
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     n_dusk_pos = n_positive - n_very_dark_positive
 
     def dusk_sampler(r):
@@ -160,7 +161,7 @@ def make_dark_crops(
     seed: int = 2,
 ) -> ClassificationDataset:
     """Very dark crop corpus for evaluating the dark pipeline at crop level."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     images, labels = _render_crops(
         sample_dark_lighting, n_positive, n_negative, size, rng,
         fill_range=SYSU_FILL_RANGE, center_jitter=0.05,
@@ -191,7 +192,7 @@ def make_iroads_like(
         raise DatasetError(
             f"with_vehicle_fraction must be in [0, 1], got {with_vehicle_fraction}"
         )
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     frames = []
     for i in range(n_frames):
         has_vehicle = rng.random() < with_vehicle_fraction
@@ -221,7 +222,7 @@ def make_pedestrian_frames(
     """Frames with pedestrians for the static partition's detector."""
     from repro.datasets.lighting import lighting_for_condition
 
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     frames = []
     for i in range(n_frames):
         config = SceneConfig(
@@ -320,7 +321,7 @@ def make_taillight_windows(
     """
     if n_per_class < 1:
         raise DatasetError(f"n_per_class must be >= 1, got {n_per_class}")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     windows: list[np.ndarray] = []
     labels: list[int] = []
     for _ in range(2 * n_per_class):

@@ -87,7 +87,7 @@ class BlobHeuristicDetector:
     the DBN's shape/size classification buys.
     """
 
-    def __init__(self, base: DarkVehicleDetector):
+    def __init__(self, base: DarkVehicleDetector) -> None:
         self.base = base
         self.name = "vehicle-dark-blob-baseline"
 
@@ -275,7 +275,7 @@ class ContentionResult:
         }
 
 
-def _pedestrian_frame_delay(controller_cls) -> float:
+def _pedestrian_frame_delay(controller_cls: type) -> float:
     """Latency of a pedestrian frame input DMA issued during a PR."""
     soc = ZynqSoC(controller_cls=controller_cls)
     done_at: list[float] = []

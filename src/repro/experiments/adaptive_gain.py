@@ -27,8 +27,10 @@ from repro.datasets.lighting import LightingCondition, condition_for_lux, sample
 from repro.datasets.scene import SceneConfig, render_scene
 from repro.experiments.common import check_scale, corpora_and_models, detector_with, trained_dark_detector
 from repro.experiments.tables import format_table, pct
-from repro.imaging.geometry import match_detections
+from repro.imaging.geometry import Rect, match_detections
+from repro.pipelines.base import Detection
 from repro.pipelines.day_dusk import DayDuskConfig
+from repro.rng import make_rng
 
 
 @dataclass
@@ -110,7 +112,7 @@ def run_adaptive_gain(
         day_dusk_config=scan_config,
     )
 
-    rng = np.random.default_rng(seed + 101)
+    rng = make_rng(seed + 101)
 
     # Three decisive blocks (deep inside each regime) so the adaptive
     # controller's hysteresis settles before the block's frames arrive —
@@ -152,7 +154,12 @@ def run_adaptive_gain(
         name: PipelineScore(name=name, matched={}, total={}) for name in names
     }
 
-    def tally(name: str, condition: LightingCondition, truths, detections) -> None:
+    def tally(
+        name: str,
+        condition: LightingCondition,
+        truths: list[Rect],
+        detections: list[Detection],
+    ) -> None:
         score = scores[name]
         key = condition.value
         matches, unmatched_t, unmatched_d = match_detections(

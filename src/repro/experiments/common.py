@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.datasets.samples import ClassificationDataset
 from repro.datasets.synthetic import (
@@ -24,6 +25,9 @@ from repro.datasets.synthetic import (
 from repro.errors import ConfigurationError
 from repro.ml.linear import LinearModel
 from repro.pipelines.day_dusk import DayDuskConfig, HogSvmVehicleDetector, train_condition_models
+
+if TYPE_CHECKING:  # imported for annotations only; training imports stay lazy
+    from repro.pipelines.dark import DarkVehicleDetector
 
 # Training corpus sizes at scale 1.0 (the paper does not publish its train
 # split sizes; 400+400 per corpus trains stable LibLINEAR models).
@@ -103,10 +107,10 @@ def detector_with(model: LinearModel, config: DayDuskConfig | None = None) -> Ho
     return HogSvmVehicleDetector(config).with_model(model)
 
 
-_DARK_CACHE: dict[int, object] = {}
+_DARK_CACHE: dict[int, "DarkVehicleDetector"] = {}
 
 
-def trained_dark_detector(seed: int = 11):
+def trained_dark_detector(seed: int = 11) -> "DarkVehicleDetector":
     """A trained DarkVehicleDetector, cached per seed."""
     from repro.pipelines.dark import DarkVehicleDetector
 

@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import FaultInjectionError
+from repro.rng import make_rng
 
 
 class FaultSite(enum.Enum):
@@ -213,7 +214,7 @@ class FaultPlan:
             raise FaultInjectionError(f"duration_s must be positive, got {duration_s}")
         if n_faults < 0:
             raise FaultInjectionError(f"n_faults must be >= 0, got {n_faults}")
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         pool = tuple(sites) if sites is not None else tuple(FaultSite)
         specs: list[FaultSpec] = []
         for _ in range(n_faults):

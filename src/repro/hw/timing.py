@@ -49,11 +49,11 @@ class VideoTiming:
     def total_pixels(self) -> int:
         return (self.width + self.h_blank) * (self.height + self.v_blank)
 
-    def fps_at(self, clock_hz: float, initiation_interval: float = 1.0) -> float:
+    def fps_at(self, clock_hz: float, initiation_interval_cycles: float = 1.0) -> float:
         """Frame rate of an II-cycles-per-pixel pipeline at ``clock_hz``."""
-        if clock_hz <= 0 or initiation_interval <= 0:
+        if clock_hz <= 0 or initiation_interval_cycles <= 0:
             raise HardwareError("clock and II must be positive")
-        return clock_hz / (self.total_pixels * initiation_interval)
+        return clock_hz / (self.total_pixels * initiation_interval_cycles)
 
 
 HDTV_TIMING = VideoTiming()
@@ -65,7 +65,7 @@ class PipelineStage:
 
     Attributes:
         name: Stage label (matches the paper's block diagrams).
-        initiation_interval: Cycles between accepted inputs (1 = full rate).
+        initiation_interval_cycles: Cycles between accepted inputs (1 = full rate).
         latency_cycles: Fixed pipeline fill latency, paid once per frame.
         work_items_per_frame: Items this stage processes per frame; defaults
             to the pixel count (None).  Stages running on a decimated grid
@@ -73,12 +73,12 @@ class PipelineStage:
     """
 
     name: str
-    initiation_interval: float = 1.0
+    initiation_interval_cycles: float = 1.0
     latency_cycles: int = 0
     work_items_per_frame: int | None = None
 
     def __post_init__(self) -> None:
-        if self.initiation_interval <= 0:
+        if self.initiation_interval_cycles <= 0:
             raise HardwareError(f"{self.name}: II must be positive")
         if self.latency_cycles < 0:
             raise HardwareError(f"{self.name}: latency must be >= 0")
@@ -108,7 +108,7 @@ class StreamingPipeline:
         items = stage.work_items_per_frame
         if items is None:
             items = self.timing.total_pixels
-        return items * stage.initiation_interval
+        return items * stage.initiation_interval_cycles
 
     @property
     def bottleneck(self) -> PipelineStage:
@@ -149,7 +149,7 @@ class StreamingPipeline:
             "stages": [
                 {
                     "name": s.name,
-                    "ii": s.initiation_interval,
+                    "ii": s.initiation_interval_cycles,
                     "cycles_per_frame": self.stage_cycles_per_frame(s),
                     "latency": s.latency_cycles,
                 }

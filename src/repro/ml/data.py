@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ModelError
+from repro.rng import make_rng
 
 
 def train_test_split(
@@ -23,7 +24,7 @@ def train_test_split(
         raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
     if not 0.0 < test_fraction < 1.0:
         raise ModelError(f"test_fraction must be in (0, 1), got {test_fraction}")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     train_idx: list[int] = []
     test_idx: list[int] = []
     for value in np.unique(y):
@@ -45,7 +46,7 @@ def shuffle_together(features: np.ndarray, labels: np.ndarray, seed: int = 0) ->
     y = np.asarray(labels).ravel()
     if x.shape[0] != y.size:
         raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
-    order = np.random.default_rng(seed).permutation(y.size)
+    order = make_rng(seed).permutation(y.size)
     return x[order], y[order]
 
 
@@ -59,7 +60,7 @@ def balance_classes(
     y = np.asarray(labels).ravel()
     if x.shape[0] != y.size:
         raise ModelError(f"{x.shape[0]} samples but {y.size} labels")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     groups = [np.flatnonzero(y == value) for value in np.unique(y)]
     target = min(g.size for g in groups)
     if target == 0:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ModelError, NotTrainedError
+from repro.rng import make_rng
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
@@ -77,7 +78,7 @@ class SoftmaxLayer:
             raise ModelError(
                 f"need n_inputs >= 1 and n_classes >= 2, got {self.n_inputs}, {self.n_classes}"
             )
-        rng = np.random.default_rng(self.config.seed)
+        rng = make_rng(self.config.seed)
         self.weights = rng.normal(0.0, 0.01, size=(self.n_inputs, self.n_classes))
         self.bias = np.zeros(self.n_classes)
         self._trained = False

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.ml.logistic import sigmoid
+from repro.rng import make_rng
 
 
 @dataclass
@@ -68,7 +69,7 @@ class Rbm:
             raise ModelError(
                 f"unit counts must be >= 1, got visible={self.n_visible}, hidden={self.n_hidden}"
             )
-        rng = np.random.default_rng(self.config.seed)
+        rng = make_rng(self.config.seed)
         self.weights = rng.normal(0.0, 0.01, size=(self.n_visible, self.n_hidden))
         self.visible_bias = np.zeros(self.n_visible)
         self.hidden_bias = np.zeros(self.n_hidden)

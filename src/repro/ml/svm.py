@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.ml.linear import LinearModel, validate_training_set
+from repro.rng import make_rng
 
 
 @dataclass(frozen=True)
@@ -76,7 +77,7 @@ class LinearSvm:
         n, d = x.shape
         if cfg.bias_scale > 0:
             x = np.hstack([x, np.full((n, 1), cfg.bias_scale)])
-        rng = np.random.default_rng(cfg.seed)
+        rng = make_rng(cfg.seed)
 
         if cfg.loss == "l1":
             upper = cfg.c

@@ -7,12 +7,17 @@ the four raw counts (Table I); :class:`ConfusionCounts` is exactly that row.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.errors import PipelineError
 from repro.imaging.geometry import Rect, match_detections
-from repro.pipelines.base import Detection
+from repro.pipelines.base import Detection, DetectionPipeline
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a package cycle
+    from repro.datasets.samples import ClassificationDataset
+    from repro.datasets.scene import SceneFrame
 
 
 @dataclass
@@ -26,6 +31,7 @@ class ConfusionCounts:
 
     @property
     def total(self) -> int:
+        """All samples counted, regardless of outcome."""
         return self.tp + self.tn + self.fp + self.fn
 
     @property
@@ -37,16 +43,19 @@ class ConfusionCounts:
 
     @property
     def precision(self) -> float:
+        """TP / (TP + FP); 0.0 with no positive predictions."""
         denom = self.tp + self.fp
         return self.tp / denom if denom else 0.0
 
     @property
     def recall(self) -> float:
+        """TP / (TP + FN); 0.0 with no positive truth."""
         denom = self.tp + self.fn
         return self.tp / denom if denom else 0.0
 
     @property
     def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
         p, r = self.precision, self.recall
         return 2 * p * r / (p + r) if (p + r) else 0.0
 
@@ -83,7 +92,9 @@ def confusion_from_predictions(labels: np.ndarray, predictions: np.ndarray) -> C
     )
 
 
-def evaluate_crop_classifier(pipeline, dataset) -> ConfusionCounts:
+def evaluate_crop_classifier(
+    pipeline: DetectionPipeline, dataset: "ClassificationDataset"
+) -> ConfusionCounts:
     """Run ``pipeline.classify_crop`` over a ClassificationDataset."""
     predictions = np.empty(len(dataset), dtype=np.int64)
     for i in range(len(dataset)):
@@ -104,6 +115,7 @@ class FrameEvaluation:
 
     @property
     def object_recall(self) -> float:
+        """Truth objects found / truth objects present; 0.0 when empty."""
         denom = self.detected + self.missed
         return self.detected / denom if denom else 0.0
 
@@ -129,8 +141,8 @@ def evaluate_detections(
 
 
 def evaluate_frames(
-    pipeline,
-    frames,
+    pipeline: DetectionPipeline,
+    frames: "Iterable[SceneFrame]",
     kind: str = "vehicle",
     iou_threshold: float = 0.3,
 ) -> FrameEvaluation:

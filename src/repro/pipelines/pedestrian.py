@@ -26,6 +26,7 @@ from repro.imaging.resize import resize_bilinear
 from repro.ml.linear import LinearModel, require_trained
 from repro.ml.svm import LinearSvm, SvmConfig
 from repro.pipelines.base import Detection
+from repro.rng import make_rng
 from repro.telemetry.metrics import DETECTIONS_BUCKETS
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
@@ -59,7 +60,7 @@ class PedestrianDetector:
 
     def train_from_frames(self, dataset: DetectionDataset, seed: int = 13) -> LinearModel:
         """Train from annotated frames: ground-truth boxes vs random windows."""
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         win = self.config.hog.window
         pos_feats: list[np.ndarray] = []
         neg_feats: list[np.ndarray] = []

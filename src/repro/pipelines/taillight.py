@@ -25,6 +25,7 @@ from repro.imaging.geometry import Rect
 from repro.ml.linear import LinearModel
 from repro.ml.scaler import StandardScaler
 from repro.ml.svm import LinearSvm, SvmConfig
+from repro.rng import make_rng
 
 # Approximate blob radius (pixels, at the downsampled resolution) per DBN
 # size class; used to normalise pair separations.
@@ -152,7 +153,7 @@ def make_pair_training_set(
     """
     if n_per_class < 1:
         raise PipelineError(f"n_per_class must be >= 1, got {n_per_class}")
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     feats: list[np.ndarray] = []
     labels: list[int] = []
     lo, hi = PAIR_SEPARATION_RATIO

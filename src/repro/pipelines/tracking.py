@@ -10,12 +10,16 @@ detector dropouts and assigns stable identities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.errors import PipelineError
 from repro.imaging.geometry import Rect
-from repro.pipelines.base import Detection
+from repro.pipelines.base import Detection, DetectionPipeline
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a package cycle
+    from repro.datasets.scene import SceneFrame
 
 
 @dataclass
@@ -84,6 +88,7 @@ class VehicleTracker:
         self.id_switch_guard: dict[int, int] = {}
 
     def reset(self) -> None:
+        """Drop all tracks and counters, ready for a new sequence."""
         self.tracks = []
         self._next_id = 0
         self.frames_processed = 0
@@ -174,9 +179,11 @@ class TrackingPipeline:
         self.name = f"{getattr(detector, 'name', 'detector')}+tracking"
 
     def reset(self) -> None:
+        """Drop tracker state, ready for a new sequence."""
         self.tracker.reset()
 
     def detect(self, frame: np.ndarray) -> list[Detection]:
+        """Detect via the wrapped detector, then associate and coast tracks."""
         raw = self.detector.detect(frame)
         tracks = self.tracker.update(raw)
         return [
@@ -189,7 +196,8 @@ class TrackingPipeline:
             for t in tracks
         ]
 
-    def classify_crop(self, crop: np.ndarray):
+    def classify_crop(self, crop: np.ndarray) -> tuple[bool, float]:
+        """Delegate crop classification to the wrapped detector."""
         return self.detector.classify_crop(crop)
 
 
@@ -206,6 +214,7 @@ class TrackingEvaluation:
 
     @property
     def recall(self) -> float:
+        """Truth objects matched / truth objects present; 0.0 when empty."""
         denom = self.matched + self.missed
         return self.matched / denom if denom else 0.0
 
@@ -218,8 +227,8 @@ class TrackingEvaluation:
 
 
 def evaluate_tracking(
-    pipeline,
-    frames,
+    pipeline: DetectionPipeline,
+    frames: "Iterable[SceneFrame]",
     iou_threshold: float = 0.25,
 ) -> TrackingEvaluation:
     """Run a (tracking or plain) pipeline over a sequence and score it.

@@ -8,11 +8,11 @@ the failure-injection tests corrupt it.  The paper's partial bit files are
 
 from __future__ import annotations
 
-import random
 import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import BitstreamError
+from repro.rng import stable_bytes
 
 # The paper's partial bitstream size ("with our partial bit files of 8MB",
 # decimal MB: 8 MB / 390 MB/s = 20.5 ms, the paper's "20ms" figure).
@@ -54,8 +54,8 @@ class PartialBitstream:
     def _generate_payload(self) -> bytes:
         # Deterministic stand-in for the configuration frames; the "flash
         # master copy" a repair re-stages from is this same generator.
-        seed = f"{self.name}:{self.partition}:{self.size_bytes}:{self.payload_seed}"
-        return random.Random(seed).randbytes(PAYLOAD_DIGEST_BYTES)
+        key = f"{self.name}:{self.partition}:{self.size_bytes}:{self.payload_seed}"
+        return stable_bytes(key, PAYLOAD_DIGEST_BYTES)
 
     def _compute_crc(self) -> int:
         header = f"{self.name}:{self.partition}:{self.size_bytes}:{self.payload_seed}"
@@ -63,14 +63,17 @@ class PartialBitstream:
 
     @property
     def crc(self) -> int:
+        """The stored integrity word."""
         return self._crc
 
     @property
     def payload(self) -> bytes:
+        """The in-memory stand-in for the configuration frames."""
         return self._payload
 
     @property
     def words(self) -> int:
+        """File size in 32-bit configuration words (the ICAP transfer unit)."""
         return self.size_bytes // 4
 
     def verify(self) -> bool:
@@ -104,11 +107,13 @@ class BitstreamRepository:
         self._store: dict[str, PartialBitstream] = {}
 
     def add(self, bitstream: PartialBitstream) -> None:
+        """Load one bitstream into PL DDR; names are unique."""
         if bitstream.name in self._store:
             raise BitstreamError(f"bitstream {bitstream.name!r} already loaded")
         self._store[bitstream.name] = bitstream
 
     def get(self, name: str) -> PartialBitstream:
+        """Look a loaded bitstream up by name."""
         if name not in self._store:
             raise BitstreamError(
                 f"bitstream {name!r} not in PL DDR (loaded: {sorted(self._store)})"
@@ -116,6 +121,7 @@ class BitstreamRepository:
         return self._store[name]
 
     def names(self) -> list[str]:
+        """Sorted names of every loaded bitstream."""
         return sorted(self._store)
 
     def checksum(self, name: str) -> int:

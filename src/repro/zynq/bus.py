@@ -135,10 +135,12 @@ class BusLink:
 
     @property
     def queue_depth(self) -> int:
+        """Transfers waiting behind the one in flight."""
         return len(self._queue)
 
     @property
     def busy(self) -> bool:
+        """True while a transfer occupies the link."""
         return self._busy
 
 
@@ -158,12 +160,15 @@ class Path:
         self.links = links
 
     def bottleneck(self, burst_beats: int | None = None) -> LinkSpec:
+        """The slowest link of the chain at this burst size."""
         return min(self.links, key=lambda l: l.effective_bandwidth(burst_beats))
 
     def effective_bandwidth(self, burst_beats: int | None = None) -> float:
+        """Sustained bytes/s through the chain (bottleneck-bound)."""
         return self.bottleneck(burst_beats).effective_bandwidth(burst_beats)
 
     def transfer_time(self, n_bytes: int, burst_beats: int | None = None) -> float:
+        """Seconds to move ``n_bytes`` end to end, including hop fill."""
         slowest = max(l.transfer_time(n_bytes, burst_beats) for l in self.links)
         # Pipeline fill: one burst through each non-bottleneck hop.
         beats = burst_beats or min(l.max_burst_beats for l in self.links)

@@ -24,6 +24,8 @@ DMA_SETUP_TIME_S = 1.0e-6
 
 
 class DmaState(enum.Enum):
+    """Lifecycle of one DMA engine."""
+
     IDLE = "idle"
     BUSY = "busy"
     ERROR = "error"

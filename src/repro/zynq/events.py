@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.telemetry.spans import NullTracer, Tracer
@@ -32,14 +32,17 @@ class EventHandle:
         self._event = event
 
     def cancel(self) -> None:
+        """Mark the event so the kernel skips it."""
         self._event.cancelled = True
 
     @property
     def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called."""
         return self._event.cancelled
 
     @property
     def time(self) -> float:
+        """Scheduled firing time (simulator seconds)."""
         return self._event.time
 
 
@@ -53,11 +56,11 @@ class Simulator:
         self._running = False
         self.events_processed = 0
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` at ``now + delay`` (delay >= 0)."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = _Event(time=self.now + delay, sequence=self._sequence, callback=callback)
+    def schedule(self, delay_s: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at ``now + delay_s`` (delay_s >= 0 seconds)."""
+        if delay_s < 0:
+            raise SimulationError(f"cannot schedule into the past (delay_s={delay_s})")
+        event = _Event(time=self.now + delay_s, sequence=self._sequence, callback=callback)
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return EventHandle(event)
@@ -68,6 +71,7 @@ class Simulator:
 
     @property
     def pending(self) -> int:
+        """Scheduled, not-yet-fired, not-cancelled events."""
         return sum(1 for e in self._queue if not e.cancelled)
 
     def step(self) -> bool:
@@ -132,6 +136,29 @@ class TraceRecord:
     message: str
 
 
+#: The declared vocabulary of typed trace events.  ``Trace.emit`` rejects
+#: kinds outside this set and the ``event-vocabulary`` lint rule enforces
+#: it statically, so every consumer (summaries, exporter filters,
+#: acceptance tests) can rely on the names below being exhaustive.
+EVENT_KINDS: frozenset[str] = frozenset(
+    {
+        "dma.start",
+        "dma.done",
+        "dma.stall",
+        "dma.error",
+        "pr.start",
+        "pr.done",
+        "pr.stall",
+        "pr.timeout",
+        "soc.degrade",
+        "frame.dropped",
+        "partition.down",
+        "partition.up",
+        "model.swap",
+    }
+)
+
+
 class Trace:
     """An event trace shared by SoC components.
 
@@ -168,23 +195,31 @@ class Trace:
         self.tracer = tracer if tracer is not None else NullTracer()
 
     def log(self, time: float, source: str, message: str) -> None:
+        """Append one human-readable record (evicting under ring-buffer mode)."""
         if self.max_records is not None and len(self.records) == self.max_records:
             self.dropped += 1
         self.records.append(TraceRecord(time=time, source=source, message=message))
         self.logged += 1
 
-    def emit(self, time: float, source: str, kind: str, message: str, **attrs) -> None:
+    def emit(self, time: float, source: str, kind: str, message: str, **attrs: Any) -> None:
         """Typed event: a human-readable record plus a telemetry event.
 
         ``kind`` is the structured event name ("dma.start", "pr.done",
-        ...); ``attrs`` are its typed attributes.  With the default no-op
-        tracer this is exactly :meth:`log`.
+        ...) and must come from :data:`EVENT_KINDS`; ``attrs`` are its
+        typed attributes.  With the default no-op tracer this is exactly
+        :meth:`log`.
         """
+        if kind not in EVENT_KINDS:
+            raise SimulationError(
+                f"emit kind {kind!r} is not in the declared event vocabulary; "
+                "add it to repro.zynq.events.EVENT_KINDS first"
+            )
         self.log(time, source, message)
         if self.tracer.enabled:
             self.tracer.event(kind, time_s=time, source=source, **attrs)
 
     def from_source(self, source: str) -> list[TraceRecord]:
+        """Records logged by one component."""
         return [r for r in self.records if r.source == source]
 
     def __len__(self) -> int:

@@ -19,6 +19,8 @@ from repro.zynq.soc import FRAME_BYTES, ZynqSoC
 
 
 class StreamState(enum.Enum):
+    """Lifecycle of the frame-streaming loop."""
+
     IDLE = "idle"
     STREAMING = "streaming"
 

@@ -72,7 +72,9 @@ class InterruptController:
         self.sim.schedule(self.latency_s, deliver)
 
     def pending_lines(self) -> list[str]:
+        """Names of lines raised but not yet delivered."""
         return sorted(n for n, l in self._lines.items() if l.pending)
 
     def count(self, name: str) -> int:
+        """Interrupts delivered so far on ``name``."""
         return self.register(name).count

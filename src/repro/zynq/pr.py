@@ -45,6 +45,8 @@ from repro.zynq.interrupts import InterruptController
 
 
 class PrState(enum.Enum):
+    """Lifecycle of a PR controller."""
+
     IDLE = "idle"
     RECONFIGURING = "reconfiguring"
 
@@ -65,6 +67,7 @@ class ReconfigReport:
 
     @property
     def duration_s(self) -> float:
+        """Wall time of the attempt on the simulator clock."""
         return self.end_s - self.start_s
 
     @property
@@ -115,9 +118,11 @@ class BasePrController:
         return False
 
     def transfer_time(self, n_bytes: int) -> float:
+        """Seconds this controller needs to move ``n_bytes`` to ICAP."""
         return self._path().transfer_time(n_bytes)
 
     def effective_bandwidth(self) -> float:
+        """Sustained configuration bandwidth in bytes/s."""
         return self._path().effective_bandwidth()
 
     def reconfigure(
@@ -264,6 +269,7 @@ class ZycapController(BasePrController):
         return Path(self.name, [HP_PORT, ICAP_PORT])
 
     def occupies_hp_port(self) -> bool:
+        """ZyCAP streams over an HP port, contending with video DMA."""
         return True
 
 

@@ -337,6 +337,7 @@ class ZynqSoC:
             self.telemetry.gauge("irq_delivered", line=line).set(self.interrupts.count(line))
 
     def stats(self) -> dict:
+        """Point-in-time counters of every SoC component."""
         return {
             "time_s": self.sim.now,
             "pedestrian": {

@@ -1,0 +1,30 @@
+"""The self-test that keeps ``src/`` permanently lint-clean.
+
+This is the acceptance gate of the analysis subsystem: every determinism,
+unit-naming, telemetry-hygiene, robustness, and API-documentation
+invariant holds over the entire source tree, forever.  A failure here
+lists the exact file:line:rule to fix (or, for a sanctioned exception,
+to annotate with ``# reprolint: skip=<rule>``).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_is_lint_clean():
+    violations = analyze_paths([SRC])
+    report = "\n".join(v.render() for v in violations)
+    assert not violations, f"reprolint violations in src/:\n{report}"
+
+
+def test_source_tree_was_actually_scanned():
+    # Guard against a silently-empty walk making the gate vacuous.
+    files = list(SRC.rglob("*.py"))
+    assert len(files) > 80

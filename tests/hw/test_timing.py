@@ -39,7 +39,7 @@ class TestVideoTiming:
 class TestPipelineStage:
     def test_rejects_bad_ii(self):
         with pytest.raises(HardwareError):
-            PipelineStage("x", initiation_interval=0.0)
+            PipelineStage("x", initiation_interval_cycles=0.0)
 
     def test_rejects_negative_latency(self):
         with pytest.raises(HardwareError):
