@@ -14,6 +14,8 @@ about half a minute); smaller values shrink every corpus proportionally.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.telemetry.metrics import MetricsRegistry, Stopwatch
@@ -21,6 +23,13 @@ from repro.telemetry.metrics import MetricsRegistry, Stopwatch
 #: Session-wide registry: every ``run_once`` call lands a wall-time
 #: observation here, and the snapshot prints in the terminal summary.
 BENCH_METRICS = MetricsRegistry()
+
+#: Rendered measured-vs-paper reports collected by the report_sink fixture.
+_ARTEFACT_REPORTS: list[str] = []
+
+#: Where the session snapshot lands: the repository root, next to the
+#: BENCH_*.json trajectory that ``python -m repro bench`` writes.
+BENCH_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_repro.json"
 
 
 def pytest_addoption(parser):
@@ -40,7 +49,7 @@ def repro_scale(request) -> float:
 @pytest.fixture(scope="session")
 def report_sink():
     """Collects rendered experiment reports; printed at session end."""
-    reports: list[str] = []
+    reports = _ARTEFACT_REPORTS
     yield reports
     if reports:
         print("\n\n" + "\n\n".join(reports) + "\n")
@@ -76,3 +85,26 @@ def pytest_terminal_summary(terminalreporter):
         terminalreporter.write_line(
             f"  {series['name']}{label_text}: {series.get('value', 0.0):g}"
         )
+    path = _flush_bench_snapshot()
+    terminalreporter.write_line(f"benchmark snapshot -> {path}")
+
+
+def _flush_bench_snapshot():
+    """Write the session's paper-artefact costs to ``BENCH_repro.json``.
+
+    Uses the same schema-versioned writer as ``python -m repro bench``, so
+    the pytest-benchmark flow feeds the same BENCH_* trajectory: the
+    ``metrics`` section carries every ``bench_wall_s`` gauge, and the
+    rendered measured-vs-paper reports ride along under
+    ``artefact_reports``.
+    """
+    from repro.perf.baseline import build_snapshot, write_snapshot
+
+    doc = build_snapshot(
+        results=[],
+        label="repro",
+        metrics=BENCH_METRICS.snapshot(),
+        extra={"artefact_reports": list(_ARTEFACT_REPORTS)},
+    )
+    write_snapshot(str(BENCH_SNAPSHOT_PATH), doc)
+    return BENCH_SNAPSHOT_PATH

@@ -37,6 +37,9 @@ class LintConfig:
             and complete type annotations.
         span_exempt_modules: Modules implementing the span machinery
             itself (exempt from the context-manager rule).
+        bench_suite_packages: Packages holding ``@bench`` suites, held to
+            the bench-registry contract (registered, unit-suffixed,
+            clock-free).
         select: When non-empty, only these rule ids run.
         ignore: Rule ids to skip.
     """
@@ -71,6 +74,7 @@ class LintConfig:
     event_vocabulary: frozenset[str] = field(default_factory=_default_event_vocabulary)
     api_packages: tuple[str, ...] = ("repro.pipelines", "repro.zynq")
     span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
+    bench_suite_packages: tuple[str, ...] = ("repro.perf.suites",)
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
 
@@ -102,6 +106,13 @@ class LintConfig:
     def is_rng_helper(self, module: str) -> bool:
         """True for the sanctioned raw-RNG module."""
         return module == self.rng_helper_module
+
+    def in_bench_suite(self, module: str) -> bool:
+        """True when ``module`` is an ``@bench`` suite module."""
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.bench_suite_packages
+        )
 
     def is_span_exempt(self, module: str) -> bool:
         """True for modules implementing the span machinery."""

@@ -1,0 +1,82 @@
+"""Bench-suite hygiene: registered, unit-suffixed, and clock-free suites.
+
+The bench runner owns all timing and seeds all workloads, so a suite
+module that times itself (wall-clock reads) or defines unregistered
+benchmark functions silently escapes the BENCH_*.json trajectory.  This
+rule holds everything under ``repro.perf.suites`` to the suite contract:
+
+* every public top-level function is ``@bench``-registered (helpers stay
+  private with a leading underscore);
+* the registered name carries a unit suffix (``_ms``, ``_s``, ...);
+* no wall-clock calls anywhere in the module — the runner measures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+from repro.analysis.rules.determinism import WALL_CLOCK_CALLS, dotted_name
+
+
+def _bench_decorator_call(node: ast.FunctionDef) -> ast.Call | None:
+    """The ``@bench(...)`` decorator call on ``node``, if any."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = dotted_name(decorator.func)
+            if name is not None and name.split(".")[-1] == "bench":
+                return decorator
+    return None
+
+
+@register
+class BenchRegistryRule(Rule):
+    """Suite modules follow the @bench contract."""
+
+    id = "bench-registry"
+    summary = (
+        "perf suite functions must be @bench-registered with unit-suffixed "
+        "names and must not read wall clocks (the runner owns timing)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        cfg = module.config
+        if not cfg.in_bench_suite(module.module):
+            return
+        suffixes = "/".join(sorted(cfg.unit_suffixes))
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            decorator = _bench_decorator_call(node)
+            if decorator is None:
+                yield self.violation(
+                    module,
+                    node,
+                    f"suite function {node.name}() is not @bench-registered; "
+                    "register it or make it a _private helper",
+                )
+                continue
+            name_arg = decorator.args[0] if decorator.args else None
+            if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                bench_name = name_arg.value
+                if bench_name.lower().split("_")[-1] not in cfg.unit_suffixes:
+                    yield self.violation(
+                        module,
+                        decorator,
+                        f"bench name {bench_name!r} has no unit suffix "
+                        f"(expected one of: {suffixes})",
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in WALL_CLOCK_CALLS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock call {name}() in bench suite {module.module}; "
+                    "the bench runner owns all timing",
+                )

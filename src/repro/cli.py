@@ -10,8 +10,9 @@
     python -m repro ablations            # all five ablations
     python -m repro drive [--trace T] [--duration D] [--fault-plan P]
                           [--telemetry-out PATH] [--telemetry-format F]
-    python -m repro telemetry --telemetry-in PATH   # summarise a dump
+    python -m repro telemetry --telemetry-in PATH [--top N]   # summarise a dump
     python -m repro lint [PATHS] [--format text|json] [--select R] [--ignore R]
+    python -m repro bench [--smoke] [--compare BASELINE] [--filter S]
     python -m repro all [--scale S]      # everything, in paper order
 """
 
@@ -179,11 +180,17 @@ def _drive(args) -> str:
 
 
 def _telemetry(args) -> str:
-    from repro.telemetry import summarize_file
+    from repro.telemetry import load_dump, render_report
 
     if args.telemetry_in is None:
         raise SystemExit("telemetry: --telemetry-in PATH is required")
-    return summarize_file(args.telemetry_in)
+    dump = load_dump(args.telemetry_in)
+    report = render_report(dump.spans, dump.metrics, dump.meta)
+    if args.top is not None:
+        from repro.perf import profile_dump
+
+        report += "\n" + profile_dump(dump).render_top(args.top)
+    return report
 
 
 def _ablations(args) -> str:
@@ -234,6 +241,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        # Same story for the benchmark harness (--smoke, --compare, ...).
+        from repro.perf.cli import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artefacts of the DATE'19 adaptive-detection paper.",
@@ -295,6 +307,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="telemetry dump to summarise (telemetry command)",
     )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also print the top-N hot spans by self time (telemetry command)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "telemetry":
@@ -315,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(COMMANDS):
             print(f"  {name:<{width}}  {COMMANDS[name][1]}")
         print(f"  {'lint':<{width}}  reprolint static analysis over src/ (see ANALYSIS.md)")
+        print(f"  {'bench':<{width}}  statistical benchmarks + regression gate (see PERF.md)")
         return 0
 
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

@@ -1,0 +1,274 @@
+"""The baseline store: schema-versioned BENCH snapshots + the compare gate.
+
+A snapshot is one JSON document (``BENCH_<label>.json``) holding machine
+metadata, the runner policy, per-benchmark robust stats (with raw samples,
+so future comparisons can re-derive anything), and the span rollups of the
+macro drive.  ``compare`` judges a current run against a stored baseline:
+per benchmark, a slowdown is a *regression* only when it is statistically
+significant under :func:`repro.perf.stats.significant_slowdown` and
+exceeds the configured relative threshold.  The reporters mirror the
+``repro lint`` pattern: a one-line-per-finding text report and a stable
+JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.perf.runner import BenchResult, RunnerConfig
+from repro.perf.stats import relative_change, significant_slowdown
+
+SCHEMA_NAME = "repro-bench"
+SCHEMA_VERSION = 1
+
+#: Compare verdicts, in severity order.
+STATUSES = ("regressed", "missing", "new", "improved", "unchanged")
+
+
+def machine_meta() -> dict[str, Any]:
+    """The environment a snapshot was measured on."""
+    import numpy as np
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def build_snapshot(
+    results: list[BenchResult],
+    label: str,
+    runner: RunnerConfig | None = None,
+    span_rollups: dict | None = None,
+    metrics: list[dict] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict:
+    """Assemble the schema-versioned snapshot document."""
+    doc: dict[str, Any] = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": machine_meta(),
+        "benchmarks": {r.name: r.to_dict() for r in results},
+    }
+    if runner is not None:
+        doc["runner"] = {
+            "warmup": runner.warmup,
+            "min_repeats": runner.min_repeats,
+            "max_repeats": runner.max_repeats,
+            "max_time_s": runner.max_time_s,
+            "outlier_k": runner.outlier_k,
+            "seed": runner.seed,
+            "smoke": runner.smoke,
+        }
+    if span_rollups is not None:
+        doc["span_rollups"] = span_rollups
+    if metrics is not None:
+        doc["metrics"] = metrics
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def write_snapshot(path: str, doc: dict) -> None:
+    """Write one snapshot document (stable key order, human-diffable)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_snapshot(path: str) -> dict:
+    """Load and schema-check a snapshot written by :func:`write_snapshot`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA_NAME:
+        raise ConfigurationError(
+            f"baseline {path!r} is not a {SCHEMA_NAME} snapshot"
+        )
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"baseline {path!r} has schema_version {version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("benchmarks"), dict):
+        raise ConfigurationError(f"baseline {path!r} has no benchmarks table")
+    return doc
+
+
+def results_from_snapshot(doc: dict) -> dict[str, BenchResult]:
+    """Rehydrate the per-benchmark results of a loaded snapshot."""
+    return {
+        name: BenchResult.from_dict(entry)
+        for name, entry in doc["benchmarks"].items()
+    }
+
+
+@dataclass
+class CompareEntry:
+    """One benchmark's verdict against the baseline."""
+
+    name: str
+    status: str
+    rel_change: float = 0.0
+    baseline_median_ms: float | None = None
+    current_median_ms: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "rel_change": self.rel_change,
+            "baseline_median_ms": self.baseline_median_ms,
+            "current_median_ms": self.current_median_ms,
+        }
+
+    def render(self) -> str:
+        def fmt(value: float | None) -> str:
+            return f"{value:.3f}" if value is not None else "-"
+
+        return (
+            f"{self.name}: {self.status} "
+            f"({fmt(self.baseline_median_ms)} -> {fmt(self.current_median_ms)} ms, "
+            f"{self.rel_change:+.1%})"
+        )
+
+
+@dataclass
+class CompareReport:
+    """The verdict of one current run against one baseline snapshot."""
+
+    baseline_label: str
+    current_label: str
+    threshold_rel: float
+    entries: list[CompareEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CompareEntry]:
+        return [e for e in self.entries if e.status == "regressed"]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def counts(self) -> dict[str, int]:
+        table = {status: 0 for status in STATUSES}
+        for entry in self.entries:
+            table[entry.status] += 1
+        return table
+
+    def render_text(self) -> str:
+        lines = [
+            f"bench compare: {self.current_label!r} vs baseline "
+            f"{self.baseline_label!r} (threshold {self.threshold_rel:.0%})"
+        ]
+        order = {status: i for i, status in enumerate(STATUSES)}
+        for entry in sorted(
+            self.entries, key=lambda e: (order[e.status], e.name)
+        ):
+            if entry.status == "unchanged":
+                continue
+            lines.append(f"  {entry.render()}")
+        counts = self.counts()
+        lines.append(
+            "bench compare: "
+            + ", ".join(f"{counts[s]} {s}" for s in STATUSES)
+            + f" across {len(self.entries)} benchmarks"
+        )
+        if self.has_regressions:
+            lines.append("bench compare: FAILED (significant slowdowns found)")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(
+            {
+                "tool": "repro-bench-compare",
+                "baseline": self.baseline_label,
+                "current": self.current_label,
+                "threshold_rel": self.threshold_rel,
+                "counts": self.counts(),
+                "has_regressions": self.has_regressions,
+                "entries": [e.to_dict() for e in self.entries],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def compare(
+    baseline_doc: dict,
+    current_results: list[BenchResult],
+    threshold_rel: float = 0.10,
+    current_label: str = "current",
+) -> CompareReport:
+    """Judge ``current_results`` against a loaded baseline snapshot.
+
+    A benchmark present in both is *regressed* when the slowdown is both
+    beyond ``threshold_rel`` and outside the joint noise floor; the
+    symmetric condition marks *improved*; anything else is *unchanged*.
+    Benchmarks only in the baseline are *missing* (a deleted benchmark is
+    worth noticing, not worth failing); only in the current run, *new*.
+    """
+    if threshold_rel < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold_rel}")
+    baseline = results_from_snapshot(baseline_doc)
+    report = CompareReport(
+        baseline_label=str(baseline_doc.get("label", "?")),
+        current_label=current_label,
+        threshold_rel=threshold_rel,
+    )
+    current_by_name = {r.name: r for r in current_results}
+    for name in sorted(set(baseline) | set(current_by_name)):
+        base = baseline.get(name)
+        cur = current_by_name.get(name)
+        if base is None:
+            assert cur is not None
+            report.entries.append(
+                CompareEntry(
+                    name=name,
+                    status="new",
+                    current_median_ms=cur.stats.median,
+                )
+            )
+            continue
+        if cur is None:
+            report.entries.append(
+                CompareEntry(
+                    name=name,
+                    status="missing",
+                    baseline_median_ms=base.stats.median,
+                )
+            )
+            continue
+        rel = relative_change(base.stats, cur.stats)
+        if significant_slowdown(base.stats, cur.stats, threshold_rel):
+            status = "regressed"
+        elif significant_slowdown(cur.stats, base.stats, threshold_rel):
+            status = "improved"
+        else:
+            status = "unchanged"
+        report.entries.append(
+            CompareEntry(
+                name=name,
+                status=status,
+                rel_change=rel,
+                baseline_median_ms=base.stats.median,
+                current_median_ms=cur.stats.median,
+            )
+        )
+    return report

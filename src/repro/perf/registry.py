@@ -1,0 +1,156 @@
+"""The ``@bench`` registry: declarative micro/macro benchmark definitions.
+
+A benchmark is a *setup* function decorated with :func:`bench`.  Setup
+receives a :class:`BenchContext` (seeded RNG, smoke flag, a notes dict)
+and returns the zero-argument workload the runner will time::
+
+    @bench("hog_descriptor_ms", group="features")
+    def hog_descriptor(ctx: BenchContext):
+        window = ctx.rng.random((64, 64))
+        ctx.digest(window)                  # workload fingerprint
+        descriptor = HogDescriptor()
+        def run():
+            descriptor.extract(window)
+        return run
+
+Two invariants the ``bench-registry`` lint rule also enforces statically:
+
+* benchmark names carry a unit suffix (``_ms``, ``_s``, ...) — every
+  reported number says what it is;
+* suites never read wall clocks — the runner owns all timing, so a suite
+  cannot accidentally measure itself differently from its peers.
+
+Workloads are deterministic: the context RNG is derived from the runner
+seed and the benchmark name through :func:`repro.rng.derive_seed`, and
+:meth:`BenchContext.digest` folds workload arrays into a checksum the
+determinism tests (and curious humans) can compare across runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import derive_seed, make_rng
+
+#: Accepted unit suffixes for benchmark names (mirrors the lint config).
+UNIT_SUFFIXES = frozenset(
+    {"s", "ms", "us", "ns", "mbs", "bps", "fps", "hz", "mhz", "cycles", "frames"}
+)
+
+BENCH_KINDS = ("micro", "macro")
+
+
+@dataclass
+class BenchContext:
+    """What a benchmark's setup function gets to work with.
+
+    Attributes:
+        name: The registered benchmark name.
+        rng: Seeded generator (derived from the runner seed + name), the
+            only randomness source a suite should use.
+        smoke: True under ``--smoke``; setups shrink their workloads.
+        notes: Free-form metadata the setup may attach; lands in the
+            snapshot next to the timing stats (digests, sizes, rollups).
+    """
+
+    name: str
+    rng: np.random.Generator
+    smoke: bool = False
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def note(self, key: str, value: Any) -> None:
+        self.notes[key] = value
+
+    def digest(self, *arrays: np.ndarray) -> str:
+        """Fold arrays into the workload fingerprint note and return it.
+
+        Calling it repeatedly chains the checksum, so multi-part workloads
+        accumulate one stable fingerprint.
+        """
+        crc = int(self.notes.get("workload_digest", "0"), 16)
+        for array in arrays:
+            data = np.ascontiguousarray(array)
+            crc = zlib.crc32(data.tobytes(), crc)
+            crc = zlib.crc32(str(data.shape).encode(), crc)
+        fingerprint = f"{crc:08x}"
+        self.notes["workload_digest"] = fingerprint
+        return fingerprint
+
+
+#: Setup callable: ``BenchContext -> zero-arg workload``.
+BenchSetup = Callable[[BenchContext], Callable[[], Any]]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark."""
+
+    name: str
+    group: str
+    kind: str
+    setup: BenchSetup
+    summary: str = ""
+
+
+_REGISTRY: dict[str, BenchSpec] = {}
+
+
+def bench(
+    name: str, group: str, kind: str = "micro", summary: str = ""
+) -> Callable[[BenchSetup], BenchSetup]:
+    """Register a benchmark setup function under ``name``.
+
+    ``name`` must end in a unit suffix; ``kind`` is "micro" (one hot path)
+    or "macro" (an end-to-end scenario).
+    """
+    tokens = name.lower().split("_")
+    if tokens[-1] not in UNIT_SUFFIXES:
+        raise ConfigurationError(
+            f"bench name {name!r} has no unit suffix "
+            f"(expected one of: {'/'.join(sorted(UNIT_SUFFIXES))})"
+        )
+    if kind not in BENCH_KINDS:
+        raise ConfigurationError(f"bench kind must be one of {BENCH_KINDS}, got {kind!r}")
+    if not group:
+        raise ConfigurationError(f"bench {name!r} needs a non-empty group")
+
+    def decorate(setup: BenchSetup) -> BenchSetup:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"duplicate bench name {name!r}")
+        _REGISTRY[name] = BenchSpec(
+            name=name, group=group, kind=kind, setup=setup, summary=summary
+        )
+        return setup
+
+    return decorate
+
+
+def load_suites() -> None:
+    """Import the suite package, populating the registry exactly once."""
+    import repro.perf.suites  # noqa: F401
+
+
+def all_benches() -> list[BenchSpec]:
+    """Every registered benchmark, sorted by (group, name)."""
+    load_suites()
+    return sorted(_REGISTRY.values(), key=lambda s: (s.group, s.name))
+
+
+def get_bench(name: str) -> BenchSpec:
+    """Look one benchmark up by exact name."""
+    load_suites()
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown bench {name!r} (known: {', '.join(sorted(_REGISTRY))})"
+        )
+    return _REGISTRY[name]
+
+
+def make_context(name: str, seed: int, smoke: bool) -> BenchContext:
+    """The runner's context factory (exposed for the determinism tests)."""
+    return BenchContext(name=name, rng=make_rng(derive_seed(seed, name)), smoke=smoke)

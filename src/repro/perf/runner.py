@@ -1,0 +1,165 @@
+"""The statistical bench runner: warmup, adaptive repeats, robust stats.
+
+The runner owns all timing (suites only build workloads): each benchmark
+gets ``warmup`` untimed calls, then timed repeats until both the minimum
+repeat count and the time budget are satisfied, then a modified-z-score
+outlier filter and median/MAD/CV summary over what survives.  Workload
+construction is seeded, so two runs with the same seed time *identical*
+work — the property the regression gate leans on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.perf.registry import BenchSpec, all_benches, make_context
+from repro.perf.stats import SampleStats, summarize
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Measurement policy shared by every benchmark in one run.
+
+    Attributes:
+        warmup: Untimed calls before measurement (JIT-free Python still
+            benefits: allocator warmup, cache priming, lazy imports).
+        min_repeats: Timed repeats every benchmark gets at least.
+        max_repeats: Hard ceiling on timed repeats.
+        max_time_s: Per-benchmark time budget; once ``min_repeats`` are in
+            and the budget is spent, measurement stops.
+        outlier_k: Modified-z-score cutoff for the outlier filter.
+        seed: Root seed every workload RNG is derived from.
+        smoke: Propagated to setups so they can shrink workloads.
+    """
+
+    warmup: int = 2
+    min_repeats: int = 5
+    max_repeats: int = 30
+    max_time_s: float = 1.0
+    outlier_k: float = 3.5
+    seed: int = 0
+    smoke: bool = False
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {self.warmup}")
+        if self.min_repeats < 1:
+            raise ConfigurationError(f"min_repeats must be >= 1, got {self.min_repeats}")
+        if self.max_repeats < self.min_repeats:
+            raise ConfigurationError(
+                f"max_repeats ({self.max_repeats}) < min_repeats ({self.min_repeats})"
+            )
+        if self.max_time_s <= 0:
+            raise ConfigurationError(f"max_time_s must be positive, got {self.max_time_s}")
+
+
+#: The fast-mode policy behind ``repro bench --smoke`` and check.sh.
+SMOKE_CONFIG = RunnerConfig(
+    warmup=1, min_repeats=3, max_repeats=5, max_time_s=0.25, smoke=True
+)
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's measured outcome."""
+
+    name: str
+    group: str
+    kind: str
+    stats: SampleStats
+    samples_ms: list[float] = field(default_factory=list)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "group": self.group,
+            "kind": self.kind,
+            "stats": self.stats.to_dict(),
+            "samples_ms": list(self.samples_ms),
+            "notes": dict(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        return cls(
+            name=data["name"],
+            group=data["group"],
+            kind=data["kind"],
+            stats=SampleStats.from_dict(data["stats"]),
+            samples_ms=[float(x) for x in data.get("samples_ms", [])],
+            notes=dict(data.get("notes", {})),
+        )
+
+
+def run_bench(
+    spec: BenchSpec,
+    config: RunnerConfig | None = None,
+    wall_clock: Callable[[], float] | None = None,
+) -> BenchResult:
+    """Measure one benchmark under ``config``.
+
+    ``wall_clock`` is injectable for the runner's own tests; production
+    use always times with ``time.perf_counter``.
+    """
+    cfg = config or RunnerConfig()
+    clock = wall_clock or time.perf_counter
+    ctx = make_context(spec.name, seed=cfg.seed, smoke=cfg.smoke)
+    workload = spec.setup(ctx)
+    if not callable(workload):
+        raise ConfigurationError(
+            f"bench {spec.name!r}: setup must return a zero-arg workload, "
+            f"got {type(workload).__name__}"
+        )
+    for _ in range(cfg.warmup):
+        workload()
+    samples_ms: list[float] = []
+    budget_start = clock()
+    while len(samples_ms) < cfg.max_repeats:
+        t0 = clock()
+        workload()
+        samples_ms.append((clock() - t0) * 1e3)
+        if (
+            len(samples_ms) >= cfg.min_repeats
+            and clock() - budget_start >= cfg.max_time_s
+        ):
+            break
+    return BenchResult(
+        name=spec.name,
+        group=spec.group,
+        kind=spec.kind,
+        stats=summarize(samples_ms, outlier_k=cfg.outlier_k),
+        samples_ms=samples_ms,
+        notes=dict(ctx.notes),
+    )
+
+
+def run_all(
+    config: RunnerConfig | None = None,
+    filter_substr: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run every registered benchmark (optionally name-filtered), in order."""
+    cfg = config or RunnerConfig()
+    results: list[BenchResult] = []
+    for spec in all_benches():
+        if filter_substr and filter_substr not in spec.name and filter_substr not in spec.group:
+            continue
+        if progress is not None:
+            progress(f"bench {spec.group}/{spec.name} ...")
+        results.append(run_bench(spec, cfg))
+    return results
+
+
+def smoke_config(base: RunnerConfig | None = None) -> RunnerConfig:
+    """Derive a smoke-mode config from ``base`` (keeps its seed)."""
+    if base is None:
+        return SMOKE_CONFIG
+    return replace(
+        SMOKE_CONFIG,
+        seed=base.seed,
+        outlier_k=base.outlier_k,
+    )

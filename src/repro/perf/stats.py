@@ -1,0 +1,168 @@
+"""Robust sample statistics for the bench runner and the regression gate.
+
+Benchmark timings are small samples with heavy right tails (GC pauses, CPU
+migrations), so everything here is order-statistic based: medians instead
+of means, MAD instead of standard deviation, and a modified-z-score
+outlier filter instead of trimming a fixed fraction.  The significance
+test for the ``--compare`` gate follows the same philosophy: a slowdown
+counts only when the medians differ by more than the configured threshold
+*and* the gap clears the combined MAD noise floor of the two samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+#: Scale factor making the MAD a consistent sigma estimator for normals.
+MAD_SIGMA_SCALE = 1.4826
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Uses the standard "linear" (type-7) estimator: rank ``(n-1) * q/100``
+    interpolated between the two nearest order statistics.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    if not samples:
+        raise ConfigurationError("percentile of an empty sample")
+    ordered = sorted(float(x) for x in samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def median(samples: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(samples, 50.0)
+
+
+def mad(samples: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if not samples:
+        raise ConfigurationError("MAD of an empty sample")
+    mid = median(samples) if center is None else center
+    return median([abs(x - mid) for x in samples])
+
+
+def robust_cv(samples: Sequence[float]) -> float:
+    """Robust coefficient of variation: scaled MAD over the median.
+
+    0.0 for a degenerate (constant or zero-median) sample, so callers can
+    always compare it against a stability threshold.
+    """
+    mid = median(samples)
+    if mid == 0.0:
+        return 0.0
+    return MAD_SIGMA_SCALE * mad(samples, center=mid) / abs(mid)
+
+
+def reject_outliers(
+    samples: Sequence[float], k: float = 3.5
+) -> tuple[list[float], int]:
+    """Drop samples whose modified z-score exceeds ``k``.
+
+    The modified z-score is ``MAD_SIGMA_SCALE * |x - median| / MAD``; with
+    a zero MAD (over half the sample identical) nothing is rejected.
+    Returns ``(kept, n_rejected)``; ``kept`` preserves input order.
+    """
+    values = [float(x) for x in samples]
+    if len(values) < 3:
+        return values, 0
+    mid = median(values)
+    spread = mad(values, center=mid)
+    if spread == 0.0:
+        return values, 0
+    kept = [x for x in values if MAD_SIGMA_SCALE * abs(x - mid) / spread <= k]
+    if not kept:  # pathological sample: keep everything rather than nothing
+        return values, 0
+    return kept, len(values) - len(kept)
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary statistics of one benchmark's (outlier-filtered) timings."""
+
+    n: int
+    median: float
+    mad: float
+    cv: float
+    mean: float
+    min: float
+    max: float
+    rejected: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "median": self.median,
+            "mad": self.mad,
+            "cv": self.cv,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "rejected": self.rejected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampleStats":
+        return cls(
+            n=int(data["n"]),
+            median=float(data["median"]),
+            mad=float(data["mad"]),
+            cv=float(data["cv"]),
+            mean=float(data["mean"]),
+            min=float(data["min"]),
+            max=float(data["max"]),
+            rejected=int(data.get("rejected", 0)),
+        )
+
+
+def summarize(samples: Sequence[float], outlier_k: float = 3.5) -> SampleStats:
+    """Outlier-filter ``samples`` and summarise what survives."""
+    kept, rejected = reject_outliers(samples, k=outlier_k)
+    return SampleStats(
+        n=len(kept),
+        median=median(kept),
+        mad=mad(kept),
+        cv=robust_cv(kept),
+        mean=sum(kept) / len(kept),
+        min=min(kept),
+        max=max(kept),
+        rejected=rejected,
+    )
+
+
+def significant_slowdown(
+    baseline: SampleStats, current: SampleStats, threshold_rel: float
+) -> bool:
+    """Whether ``current`` is a statistically significant slowdown.
+
+    Two conditions, both required:
+
+    1. the median grew by more than ``threshold_rel`` (relative); and
+    2. the absolute gap exceeds the combined MAD-derived noise floor of
+       the two samples (so jittery benchmarks do not gate on noise).
+    """
+    if baseline.median <= 0.0:
+        return False
+    rel_change = (current.median - baseline.median) / baseline.median
+    if rel_change <= threshold_rel:
+        return False
+    noise = MAD_SIGMA_SCALE * (baseline.mad + current.mad)
+    return (current.median - baseline.median) > noise
+
+
+def relative_change(baseline: SampleStats, current: SampleStats) -> float:
+    """Relative median change (positive = slower than baseline)."""
+    if baseline.median == 0.0:
+        return 0.0
+    return (current.median - baseline.median) / baseline.median

@@ -1,0 +1,15 @@
+"""Benchmark suites; importing this package populates the bench registry.
+
+Every module here defines ``@bench``-registered setup functions over one
+layer of the reproduction.  The ``bench-registry`` lint rule holds these
+modules to the suite contract: all public functions registered, names
+unit-suffixed, and no wall-clock reads (the runner owns timing).
+"""
+
+from repro.perf.suites import (  # noqa: F401
+    drive,
+    features,
+    imaging,
+    ml,
+    zynq,
+)

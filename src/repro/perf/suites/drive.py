@@ -1,0 +1,44 @@
+"""The macro benchmark: an end-to-end adaptive drive.
+
+Two artefacts come out of one setup: the timed workload (an unobserved
+``run_drive``, so the measurement matches production cost), and a span
+rollup of one *observed* drive of the same scenario, attached to the
+result notes — the per-stage breakdown every BENCH snapshot carries for
+hot-path attribution (the Wasala/Kryjak-style per-stage table).
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.sensor import sunset_trace
+from repro.core.system import AdaptiveDetectionSystem
+from repro.perf.profile import profile_tracer
+from repro.perf.registry import BenchContext, bench
+from repro.telemetry import Telemetry
+
+
+@bench(
+    "run_drive_macro_ms",
+    group="drive",
+    kind="macro",
+    summary="end-to-end adaptive drive (sunset trace)",
+)
+def run_drive_macro(ctx: BenchContext):
+    duration_s = 2.0 if ctx.smoke else 5.0
+    trace = sunset_trace(duration_s=duration_s)
+    import numpy as np
+
+    ctx.digest(np.asarray([lux for _, lux in trace.points]))
+    ctx.note("duration_s", duration_s)
+
+    # One observed pass for the snapshot's span rollups; the profiler is
+    # post-hoc, so this cannot perturb the timed (unobserved) runs below.
+    telemetry = Telemetry.recording()
+    observed = AdaptiveDetectionSystem(telemetry=telemetry)
+    observed.run_drive(trace, duration_s=duration_s)
+    ctx.note("span_rollups", profile_tracer(telemetry.tracer).to_dict())
+
+    def run():
+        system = AdaptiveDetectionSystem()
+        return system.run_drive(trace, duration_s=duration_s).n_frames
+
+    return run

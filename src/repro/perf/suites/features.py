@@ -1,0 +1,80 @@
+"""Feature-extraction hot paths: gradients, HOG, sliding windows.
+
+These are the software model of the paper's HOG+SVM datapath — the blocks
+a "make the hot path faster" PR will touch first, so each stage is timed
+separately (gradient field, cell histograms, one-window descriptor, dense
+descriptor, multi-scale sliding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.gradients import gradient_field
+from repro.features.hog import HogConfig, HogDescriptor, cell_histograms
+from repro.features.windows import slide_pyramid
+from repro.perf.registry import BenchContext, bench
+
+
+def _frame(ctx: BenchContext, height: int, width: int) -> np.ndarray:
+    frame = ctx.rng.random((height, width))
+    ctx.digest(frame)
+    return frame
+
+
+@bench("hog_gradient_field_ms", group="features", summary="Sobel-style gradient field")
+def hog_gradient_field(ctx: BenchContext):
+    frame = _frame(ctx, *(90, 160) if ctx.smoke else (180, 320))
+
+    def run():
+        return gradient_field(frame)
+
+    return run
+
+
+@bench("hog_cell_histograms_ms", group="features", summary="orientation-binned cell grid")
+def hog_cell_histograms(ctx: BenchContext):
+    config = HogConfig(window=(64, 64))
+    window = _frame(ctx, *config.window)
+
+    def run():
+        return cell_histograms(window, config)
+
+    return run
+
+
+@bench("hog_descriptor_ms", group="features", summary="one-window HOG descriptor")
+def hog_descriptor(ctx: BenchContext):
+    config = HogConfig(window=(64, 64))
+    window = _frame(ctx, *config.window)
+    descriptor = HogDescriptor(config)
+
+    def run():
+        return descriptor.extract(window)
+
+    return run
+
+
+@bench("hog_dense_ms", group="features", summary="dense HOG over a full frame")
+def hog_dense(ctx: BenchContext):
+    frame = _frame(ctx, *(96, 160) if ctx.smoke else (128, 256))
+    descriptor = HogDescriptor(HogConfig(window=(64, 64)))
+
+    def run():
+        return descriptor.extract_dense(frame)
+
+    return run
+
+
+@bench("sliding_windows_ms", group="features", summary="multi-scale sliding windows")
+def sliding_windows(ctx: BenchContext):
+    frame = _frame(ctx, *(96, 160) if ctx.smoke else (180, 320))
+    levels = 2 if ctx.smoke else 3
+
+    def run():
+        count = 0
+        for _ in slide_pyramid(frame, window=(64, 64), stride=(16, 16), max_levels=levels):
+            count += 1
+        return count
+
+    return run

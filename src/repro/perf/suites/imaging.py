@@ -1,0 +1,53 @@
+"""Imaging hot paths: resize, morphology, integral images.
+
+The dark pipeline spends its pre-DBN time here (threshold -> decimate ->
+close), and every pyramid level of the day/dusk path goes through the
+bilinear resize; these are the kernels a future vectorisation PR targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.integral import integral_image
+from repro.imaging.morphology import closing, square_element
+from repro.imaging.resize import resize_bilinear
+from repro.perf.registry import BenchContext, bench
+
+
+@bench("resize_bilinear_ms", group="imaging", summary="bilinear frame resize")
+def resize_bilinear_bench(ctx: BenchContext):
+    height, width = (90, 160) if ctx.smoke else (180, 320)
+    frame = ctx.rng.random((height, width))
+    ctx.digest(frame)
+    out_h, out_w = int(height * 0.8), int(width * 0.8)
+
+    def run():
+        return resize_bilinear(frame, out_h, out_w)
+
+    return run
+
+
+@bench("morphology_closing_ms", group="imaging", summary="binary closing, 3x3 square")
+def morphology_closing(ctx: BenchContext):
+    height, width = (60, 110) if ctx.smoke else (120, 220)
+    mask = ctx.rng.random((height, width)) > 0.7
+    ctx.digest(mask)
+    element = square_element(3)
+
+    def run():
+        return closing(mask, element)
+
+    return run
+
+
+@bench("integral_image_ms", group="imaging", summary="summed-area table build")
+def integral_image_bench(ctx: BenchContext):
+    height, width = (90, 160) if ctx.smoke else (180, 320)
+    frame = ctx.rng.random((height, width))
+    ctx.digest(frame)
+
+    def run():
+        return integral_image(frame)
+
+    return run

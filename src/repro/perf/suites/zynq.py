@@ -1,0 +1,62 @@
+"""SoC-model hot paths: the DMA frame step and a partial reconfiguration.
+
+These time the *simulation machinery* (event queue, bus model, PR
+controller), not the modelled hardware: the simulator clock is free, so
+the wall cost here is pure Python overhead per simulated frame/reconfig —
+exactly what bounds how long a simulated drive takes to run.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import AdaptiveDetectionSystem
+from repro.perf.registry import BenchContext, bench
+from repro.zynq.soc import ZynqSoC
+
+
+@bench("dma_frame_step_ms", group="zynq", summary="one frame through both DMA paths")
+def dma_frame_step(ctx: BenchContext):
+    soc = ZynqSoC()
+    frames = 4 if ctx.smoke else 16
+
+    def run():
+        for _ in range(frames):
+            soc.submit_frame("vehicle")
+            soc.submit_frame("pedestrian")
+            soc.sim.run()
+        return soc.stats()
+
+    return run
+
+
+@bench("pr_reconfigure_ms", group="zynq", summary="one dark<->day_dusk reconfiguration")
+def pr_reconfigure(ctx: BenchContext):
+    soc = ZynqSoC()
+    targets = ["dark", "day_dusk"]
+    state = {"i": 0}
+
+    def run():
+        configuration = targets[state["i"] % 2]
+        state["i"] += 1
+        soc.reconfigure_vehicle(configuration)
+        soc.sim.run()
+        return soc.pr.reports[-1].ok
+
+    return run
+
+
+@bench(
+    "drive_simulation_step_ms",
+    group="zynq",
+    summary="per-frame cost of the full system loop",
+)
+def drive_simulation_step(ctx: BenchContext):
+    from repro.adaptive.sensor import sunset_trace
+
+    duration_s = 0.5 if ctx.smoke else 1.0
+    trace = sunset_trace(duration_s=duration_s)
+
+    def run():
+        system = AdaptiveDetectionSystem()
+        return system.run_drive(trace, duration_s=duration_s).n_frames
+
+    return run

@@ -148,6 +148,42 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Estimate the ``q``-th percentile (0..100) from the fixed buckets.
+
+        Linear interpolation within the bucket holding the target rank,
+        using the observed min/max to bound the open-ended first and
+        overflow buckets.  ``None`` for an empty histogram.  The estimate
+        is clamped to ``[min, max]``, so degenerate single-bucket series
+        still report sane values.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if cumulative + bucket_count < target or bucket_count == 0:
+                cumulative += bucket_count
+                continue
+            # Bucket i spans (lo, hi]; bound open edges by observations.
+            lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
+            hi = self.bounds[i] if i < len(self.bounds) else self.max
+            frac = (target - cumulative) / bucket_count
+            estimate = lo + (hi - lo) * frac
+            return min(self.max, max(self.min, estimate))
+        return self.max
+
+    def percentiles(self, qs: Iterable[float] = (50.0, 90.0, 99.0)) -> dict[str, float]:
+        """``{"p50": ..., ...}`` estimates (empty dict for no samples)."""
+        out: dict[str, float] = {}
+        for q in qs:
+            value = self.percentile(q)
+            if value is not None:
+                out[f"p{q:g}"] = value
+        return out
+
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
@@ -159,6 +195,7 @@ class Histogram:
             "sum": self.sum,
             "min": self.min,
             "max": self.max,
+            "percentiles": self.percentiles(),
         }
 
 

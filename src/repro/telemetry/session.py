@@ -44,6 +44,12 @@ class _NullSeries:
     def observe(self, value: float) -> None:
         pass
 
+    def percentile(self, q: float) -> None:
+        return None
+
+    def percentiles(self, qs=()) -> dict:
+        return {}
+
 
 _NULL_SERIES = _NullSeries()
 

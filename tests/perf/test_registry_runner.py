@@ -1,0 +1,199 @@
+"""The @bench registry contract and the statistical runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.registry import (
+    BenchContext,
+    BenchSpec,
+    _REGISTRY,
+    all_benches,
+    bench,
+    get_bench,
+    make_context,
+)
+from repro.perf.runner import (
+    SMOKE_CONFIG,
+    RunnerConfig,
+    run_bench,
+    smoke_config,
+)
+
+pytestmark = pytest.mark.perf
+
+
+def _spec(setup, name="fake_ms", kind="micro"):
+    return BenchSpec(name=name, group="test", kind=kind, setup=setup)
+
+
+def _ticking_clock(step_s=0.001):
+    """Deterministic injectable wall clock: +step per call."""
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step_s
+        return state["now"]
+
+    return clock
+
+
+class TestRegistry:
+    def test_name_without_unit_suffix_rejected(self):
+        with pytest.raises(ConfigurationError, match="unit suffix"):
+            bench("hog_descriptor", group="features")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            bench("x_ms", group="g", kind="mega")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError, match="group"):
+            bench("x_ms", group="")
+
+    def test_duplicate_name_rejected(self):
+        name = "test_registry_dup_ms"
+        try:
+            bench(name, group="test")(lambda ctx: (lambda: None))
+            with pytest.raises(ConfigurationError, match="duplicate"):
+                bench(name, group="test")(lambda ctx: (lambda: None))
+        finally:
+            _REGISTRY.pop(name, None)
+
+    def test_suites_register_at_least_ten_benches(self):
+        benches = all_benches()
+        assert len(benches) >= 10
+        # Sorted by (group, name) and at least one end-to-end macro.
+        keys = [(s.group, s.name) for s in benches]
+        assert keys == sorted(keys)
+        assert any(s.kind == "macro" for s in benches)
+
+    def test_unknown_bench_lookup_fails(self):
+        with pytest.raises(ConfigurationError, match="unknown bench"):
+            get_bench("definitely_not_registered_ms")
+
+    def test_digest_chains_and_is_shape_sensitive(self):
+        a = np.arange(6, dtype=np.float64)
+        ctx1 = BenchContext(name="x_ms", rng=np.random.default_rng(0))
+        ctx2 = BenchContext(name="x_ms", rng=np.random.default_rng(0))
+        assert ctx1.digest(a) == ctx2.digest(a)
+        # Same bytes, different shape -> different fingerprint.
+        ctx3 = BenchContext(name="x_ms", rng=np.random.default_rng(0))
+        assert ctx3.digest(a.reshape(2, 3)) != ctx1.notes["workload_digest"]
+        # Chaining folds subsequent arrays into the same note.
+        before = ctx1.notes["workload_digest"]
+        assert ctx1.digest(a) != before
+
+    def test_make_context_is_seed_and_name_deterministic(self):
+        r1 = make_context("x_ms", seed=7, smoke=False).rng.random(4)
+        r2 = make_context("x_ms", seed=7, smoke=False).rng.random(4)
+        r3 = make_context("x_ms", seed=8, smoke=False).rng.random(4)
+        r4 = make_context("y_ms", seed=7, smoke=False).rng.random(4)
+        assert np.array_equal(r1, r2)
+        assert not np.array_equal(r1, r3)
+        assert not np.array_equal(r1, r4)
+
+
+class TestRunnerConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(warmup=-1)
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(min_repeats=0)
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(min_repeats=10, max_repeats=5)
+        with pytest.raises(ConfigurationError):
+            RunnerConfig(max_time_s=0.0)
+
+    def test_smoke_config_keeps_seed(self):
+        derived = smoke_config(RunnerConfig(seed=42, outlier_k=5.0))
+        assert derived.smoke
+        assert derived.seed == 42
+        assert derived.outlier_k == 5.0
+        assert derived.max_repeats == SMOKE_CONFIG.max_repeats
+        assert smoke_config(None) is SMOKE_CONFIG
+
+
+class TestRunner:
+    def test_warmup_calls_are_untimed(self):
+        calls = {"n": 0}
+
+        def setup(ctx):
+            def workload():
+                calls["n"] += 1
+
+            return workload
+
+        cfg = RunnerConfig(warmup=3, min_repeats=4, max_repeats=4, max_time_s=10.0)
+        result = run_bench(_spec(setup), cfg, wall_clock=_ticking_clock())
+        assert calls["n"] == 3 + 4
+        assert result.stats.n + result.stats.rejected == 4
+
+    def test_injected_clock_gives_exact_samples(self):
+        # Each timed repeat sees exactly two clock reads 1 ms apart.
+        cfg = RunnerConfig(warmup=0, min_repeats=5, max_repeats=5, max_time_s=100.0)
+        result = run_bench(
+            _spec(lambda ctx: (lambda: None)), cfg, wall_clock=_ticking_clock(0.001)
+        )
+        assert result.samples_ms == pytest.approx([1.0] * 5)
+        assert result.stats.median == pytest.approx(1.0)
+        assert result.stats.mad == pytest.approx(0.0)
+
+    def test_budget_stops_after_min_repeats(self):
+        # A huge per-call cost blows the budget on the first sample, but the
+        # runner still takes min_repeats before stopping.
+        cfg = RunnerConfig(warmup=0, min_repeats=3, max_repeats=30, max_time_s=0.5)
+        result = run_bench(
+            _spec(lambda ctx: (lambda: None)), cfg, wall_clock=_ticking_clock(1.0)
+        )
+        assert len(result.samples_ms) == 3
+
+    def test_non_callable_workload_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero-arg workload"):
+            run_bench(_spec(lambda ctx: 42), RunnerConfig(), wall_clock=_ticking_clock())
+
+    def test_setup_notes_land_in_result(self):
+        def setup(ctx):
+            ctx.digest(ctx.rng.random(8))
+            ctx.note("size", 8)
+            return lambda: None
+
+        result = run_bench(_spec(setup), SMOKE_CONFIG, wall_clock=_ticking_clock())
+        assert result.notes["size"] == 8
+        assert len(result.notes["workload_digest"]) == 8
+
+    def test_result_round_trip(self):
+        result = run_bench(
+            _spec(lambda ctx: (lambda: None)), SMOKE_CONFIG, wall_clock=_ticking_clock()
+        )
+        clone = type(result).from_dict(result.to_dict())
+        assert clone == result
+
+
+class TestSuiteDeterminism:
+    """Two back-to-back suite runs must build byte-identical workloads."""
+
+    # Training a DBN / running a drive per bench twice is too slow for
+    # tier 1; the cheap suites cover the derive_seed -> digest contract and
+    # the macro drive is separately pinned by its trace-digest note.
+    CHEAP = ("resize_bilinear_ms", "integral_image_ms", "hog_gradient_field_ms")
+
+    @pytest.mark.parametrize("name", CHEAP)
+    def test_same_seed_same_workload_digest(self, name):
+        spec = get_bench(name)
+        digests = []
+        for _ in range(2):
+            ctx = make_context(spec.name, seed=0, smoke=True)
+            spec.setup(ctx)
+            digests.append(ctx.notes["workload_digest"])
+        assert digests[0] == digests[1]
+
+    def test_different_seed_different_workload(self):
+        spec = get_bench("resize_bilinear_ms")
+        ctx_a = make_context(spec.name, seed=0, smoke=True)
+        ctx_b = make_context(spec.name, seed=1, smoke=True)
+        spec.setup(ctx_a)
+        spec.setup(ctx_b)
+        assert ctx_a.notes["workload_digest"] != ctx_b.notes["workload_digest"]

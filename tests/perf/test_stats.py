@@ -1,0 +1,106 @@
+"""Robust-statistics helpers: percentiles, MAD, outliers, significance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.stats import (
+    SampleStats,
+    mad,
+    median,
+    percentile,
+    reject_outliers,
+    relative_change,
+    robust_cv,
+    significant_slowdown,
+    summarize,
+)
+
+pytestmark = pytest.mark.perf
+
+
+class TestPercentile:
+    def test_linear_interpolation(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 4.0
+        assert percentile(samples, 50) == pytest.approx(2.5)
+        assert percentile(samples, 25) == pytest.approx(1.75)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+
+
+class TestRobustStats:
+    def test_median_and_mad(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 100.0]
+        assert median(samples) == 3.0
+        assert mad(samples) == 1.0  # deviations 2,1,0,1,97 -> median 1
+
+    def test_cv_zero_for_constant(self):
+        assert robust_cv([5.0, 5.0, 5.0]) == 0.0
+
+    def test_outlier_rejection_drops_spike(self):
+        samples = [1.0, 1.01, 0.99, 1.02, 0.98, 50.0]
+        kept, rejected = reject_outliers(samples)
+        assert rejected == 1
+        assert 50.0 not in kept
+
+    def test_outlier_rejection_keeps_tight_sample(self):
+        samples = [1.0, 1.01, 0.99]
+        kept, rejected = reject_outliers(samples)
+        assert kept == samples
+        assert rejected == 0
+
+    def test_summarize_reports_rejections(self):
+        stats = summarize([1.0, 1.0, 1.01, 0.99, 1.02, 60.0])
+        assert stats.rejected == 1
+        assert stats.n == 5
+        assert stats.median == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert SampleStats.from_dict(stats.to_dict()) == stats
+
+
+def _stats(median_value: float, mad_value: float) -> SampleStats:
+    return SampleStats(
+        n=10,
+        median=median_value,
+        mad=mad_value,
+        cv=0.0,
+        mean=median_value,
+        min=median_value,
+        max=median_value,
+    )
+
+
+class TestSignificance:
+    def test_large_clean_slowdown_is_significant(self):
+        assert significant_slowdown(_stats(10.0, 0.1), _stats(13.0, 0.1), 0.10)
+
+    def test_below_threshold_not_significant(self):
+        assert not significant_slowdown(_stats(10.0, 0.1), _stats(10.5, 0.1), 0.10)
+
+    def test_noisy_gap_not_significant(self):
+        # 30% slower but the MADs swamp the gap: not a confident verdict.
+        assert not significant_slowdown(_stats(10.0, 2.0), _stats(13.0, 2.0), 0.10)
+
+    def test_speedup_never_significant_slowdown(self):
+        assert not significant_slowdown(_stats(10.0, 0.1), _stats(7.0, 0.1), 0.10)
+
+    def test_relative_change_sign(self):
+        assert relative_change(_stats(10.0, 0.0), _stats(12.0, 0.0)) == pytest.approx(0.2)
+        assert relative_change(_stats(10.0, 0.0), _stats(8.0, 0.0)) == pytest.approx(-0.2)

@@ -92,3 +92,55 @@ class TestRegistry:
         table = snapshot_values(registry.snapshot())
         assert table["faults"][(("site", "dma-error"),)] == 2.0
         assert table["reconfig_ms"][()] == pytest.approx(20.5)
+
+
+class TestHistogramPercentiles:
+    def _hist(self, values, bounds=(1.0, 10.0, 100.0)):
+        hist = MetricsRegistry().histogram("lat_ms", bounds=bounds)
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_has_no_percentiles(self):
+        hist = MetricsRegistry().histogram("lat_ms", bounds=(1.0,))
+        assert hist.percentile(50.0) is None
+        assert hist.percentiles() == {}
+
+    def test_q_out_of_range_rejected(self):
+        hist = self._hist([5.0])
+        with pytest.raises(ConfigurationError):
+            hist.percentile(-1.0)
+        with pytest.raises(ConfigurationError):
+            hist.percentile(100.5)
+
+    def test_interpolates_within_bucket(self):
+        # 10 samples uniform in the (1, 10] bucket: the p50 estimate lands
+        # mid-bucket by linear interpolation.
+        hist = self._hist([float(v) for v in range(1, 11)], bounds=(0.0, 10.0, 100.0))
+        estimate = hist.percentile(50.0)
+        assert 4.0 <= estimate <= 6.0
+
+    def test_estimates_bounded_by_observations(self):
+        hist = self._hist([5.0, 6.0, 7.0])
+        assert hist.min <= hist.percentile(0.0) <= hist.max
+        assert hist.percentile(100.0) <= hist.max
+
+    def test_overflow_bucket_uses_observed_max(self):
+        hist = self._hist([500.0, 600.0])
+        assert hist.percentile(99.0) <= 600.0
+        assert hist.percentile(99.0) > 100.0
+
+    def test_percentiles_table_keys(self):
+        hist = self._hist([1.0, 2.0, 3.0])
+        table = hist.percentiles()
+        assert set(table) == {"p50", "p90", "p99"}
+        table_custom = hist.percentiles(qs=(25.0,))
+        assert set(table_custom) == {"p25"}
+
+    def test_to_dict_gains_percentiles_keeps_existing_keys(self):
+        hist = self._hist([5.0, 50.0])
+        doc = hist.to_dict()
+        for key in ("kind", "name", "labels", "bounds", "bucket_counts",
+                    "count", "sum", "min", "max"):
+            assert key in doc
+        assert set(doc["percentiles"]) == {"p50", "p90", "p99"}

@@ -108,6 +108,23 @@ class TestCliTelemetry:
         assert main(["drive", "--duration", "5"]) == 0
         assert "telemetry:" not in capsys.readouterr().out
 
+    def test_telemetry_top_appends_hot_span_table(self, tmp_path, capsys):
+        path = str(tmp_path / "drive.jsonl")
+        assert main(["drive", "--duration", "5", "--telemetry-out", path]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "--telemetry-in", path, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "hot spans" in out
+        assert "drive.frame wall ms: p50=" in out
+
+    def test_telemetry_without_top_omits_hot_span_table(self, tmp_path, capsys):
+        path = str(tmp_path / "drive.jsonl")
+        assert main(["drive", "--duration", "5", "--telemetry-out", path]) == 0
+        capsys.readouterr()
+        assert main(["telemetry", "--telemetry-in", path]) == 0
+        assert "hot spans" not in capsys.readouterr().out
+
 
 class TestExtensibility:
     def test_animal_configuration_fits_paper_partition(self):
