@@ -35,6 +35,9 @@ PYTHONPATH=src python -m repro lint src || status=1
 echo "== repro bench --smoke (perf harness sanity; no snapshot written)"
 PYTHONPATH=src python -m repro bench --smoke >/dev/null || status=1
 
+echo "== repro incident smoke (flight recorder: induce, bundle, replay)"
+PYTHONPATH=src python -m repro incident smoke --duration 20 --scenario flaky_dma >/dev/null || status=1
+
 if [[ $fast -eq 0 ]]; then
     echo "== pytest (tier 1)"
     PYTHONPATH=src python -m pytest -x -q || status=1

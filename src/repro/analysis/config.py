@@ -18,6 +18,13 @@ def _default_event_vocabulary() -> frozenset[str]:
     return EVENT_KINDS
 
 
+def _default_monitor_vocabulary() -> frozenset[str]:
+    # Single source of truth: the vocabulary declared next to Monitor.emit_event.
+    from repro.monitor.events import MONITOR_EVENT_KINDS
+
+    return MONITOR_EVENT_KINDS
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Repository-specific knobs consumed by the rules.
@@ -33,6 +40,7 @@ class LintConfig:
             throughput-like and therefore unit-bearing.
         unit_suffixes: Accepted unit suffixes (the paper's units).
         event_vocabulary: Legal ``Trace.emit`` event kinds.
+        monitor_vocabulary: Legal ``Monitor.emit_event`` event kinds.
         api_packages: Packages whose public surface must carry docstrings
             and complete type annotations.
         span_exempt_modules: Modules implementing the span machinery
@@ -72,6 +80,7 @@ class LintConfig:
         {"s", "ms", "us", "ns", "mbs", "bps", "fps", "hz", "mhz", "cycles", "frames"}
     )
     event_vocabulary: frozenset[str] = field(default_factory=_default_event_vocabulary)
+    monitor_vocabulary: frozenset[str] = field(default_factory=_default_monitor_vocabulary)
     api_packages: tuple[str, ...] = ("repro.pipelines", "repro.zynq")
     span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
     bench_suite_packages: tuple[str, ...] = ("repro.perf.suites",)

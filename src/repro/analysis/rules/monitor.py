@@ -1,0 +1,62 @@
+"""Monitor-hygiene rules: the incident-event vocabulary.
+
+``Monitor.emit_event`` kinds name rows in incident bundles, telemetry
+mirrors, and the post-mortem timeline.  A kind outside the declared
+vocabulary is an event no bundle loader, report section, or acceptance
+test will ever look for — the runtime rejects it, but only when that
+code path actually fires; the lint catches it at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+
+@register
+class MonitorEventVocabularyRule(Rule):
+    """``Monitor.emit_event`` kinds come from the declared vocabulary."""
+
+    id = "monitor-event-vocabulary"
+    summary = (
+        "Monitor.emit_event kinds must be string literals from the declared "
+        "vocabulary (repro.monitor.events.MONITOR_EVENT_KINDS)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        vocabulary = module.config.monitor_vocabulary
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit_event"
+            ):
+                continue
+            # Monitor.emit_event(kind, time_s, **attrs)
+            kind_node: ast.expr | None = None
+            if node.args:
+                kind_node = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind_node = keyword.value
+            if kind_node is None:
+                continue
+            if not (isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str)):
+                yield self.violation(
+                    module,
+                    kind_node,
+                    "emit_event kind must be a string literal so the "
+                    "vocabulary is statically checkable",
+                )
+                continue
+            if kind_node.value not in vocabulary:
+                known = ", ".join(sorted(vocabulary))
+                yield self.violation(
+                    module,
+                    kind_node,
+                    f"emit_event kind {kind_node.value!r} is not in the "
+                    f"declared monitor vocabulary ({known}); add it to "
+                    "repro.monitor.events.MONITOR_EVENT_KINDS first",
+                )

@@ -10,7 +10,10 @@
     python -m repro ablations            # all five ablations
     python -m repro drive [--trace T] [--duration D] [--fault-plan P]
                           [--telemetry-out PATH] [--telemetry-format F]
-    python -m repro telemetry --telemetry-in PATH [--top N]   # summarise a dump
+                          [--monitor-out DIR]
+    python -m repro telemetry --telemetry-in PATH [--top N]
+                          [--since S] [--until S]   # summarise a dump/bundle
+    python -m repro incident list|show|report|replay|smoke ...   # see MONITOR.md
     python -m repro lint [PATHS] [--format text|json] [--select R] [--ignore R]
     python -m repro bench [--smoke] [--compare BASELINE] [--filter S]
     python -m repro all [--scale S]      # everything, in paper order
@@ -151,7 +154,12 @@ def _drive(args) -> str:
                 "fault_plan": args.fault_plan,
             }
         )
-    system = AdaptiveDetectionSystem(fault_plan=plan, telemetry=telemetry)
+    monitor = None
+    if args.monitor_out is not None:
+        from repro.monitor import Monitor
+
+        monitor = Monitor.recording(args.monitor_out, telemetry=telemetry)
+    system = AdaptiveDetectionSystem(fault_plan=plan, telemetry=telemetry, monitor=monitor)
     report = system.run_drive(trace)
     summary = report.summary()
     lines = [f"drive: trace={args.trace} duration={args.duration:.0f}s "
@@ -176,15 +184,27 @@ def _drive(args) -> str:
             f"{len(telemetry.metrics)} metric series -> "
             f"{args.telemetry_out} ({args.telemetry_format})"
         )
+    if monitor is not None:
+        digest = monitor.summary()
+        lines.append(
+            f"  monitor:                   health={digest['health']['state']}, "
+            f"{digest['triggers']} triggers, {digest['incidents']} incidents -> "
+            f"{args.monitor_out}"
+        )
     return "\n".join(lines)
 
 
 def _telemetry(args) -> str:
-    from repro.telemetry import load_dump, render_report
+    from repro.telemetry import filter_spans, load_dump, render_report
 
     if args.telemetry_in is None:
         raise SystemExit("telemetry: --telemetry-in PATH is required")
     dump = load_dump(args.telemetry_in)
+    if args.since is not None or args.until is not None:
+        dump.spans = filter_spans(dump.spans, since_s=args.since, until_s=args.until)
+        window = f"[{args.since if args.since is not None else '-inf'}, " \
+                 f"{args.until if args.until is not None else '+inf'}]"
+        dump.meta = {**dump.meta, "span_window_s": window}
     report = render_report(dump.spans, dump.metrics, dump.meta)
     if args.top is not None:
         from repro.perf import profile_dump
@@ -246,6 +266,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["incident"]:
+        # And for the incident-bundle tooling (list/show/report/replay/smoke).
+        from repro.monitor.cli import main as incident_main
+
+        return incident_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artefacts of the DATE'19 adaptive-detection paper.",
@@ -314,6 +339,26 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="also print the top-N hot spans by self time (telemetry command)",
     )
+    parser.add_argument(
+        "--since",
+        type=float,
+        default=None,
+        metavar="S",
+        help="keep only spans overlapping [S, ...] sim-seconds (telemetry command)",
+    )
+    parser.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="S",
+        help="keep only spans overlapping [..., S] sim-seconds (telemetry command)",
+    )
+    parser.add_argument(
+        "--monitor-out",
+        default=None,
+        metavar="DIR",
+        help="monitor the drive and write incident bundles under DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "telemetry":
@@ -335,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:<{width}}  {COMMANDS[name][1]}")
         print(f"  {'lint':<{width}}  reprolint static analysis over src/ (see ANALYSIS.md)")
         print(f"  {'bench':<{width}}  statistical benchmarks + regression gate (see PERF.md)")
+        print(f"  {'incident':<{width}}  flight-recorder bundles: list/report/replay (see MONITOR.md)")
         return 0
 
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

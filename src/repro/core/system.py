@@ -23,6 +23,7 @@ from repro.adaptive.sensor import LightSensor, LuxTrace
 from repro.datasets.lighting import LightingCondition
 from repro.errors import ConfigurationError, ReconfigurationError
 from repro.faults.plan import DegradationEvent, FaultPlan, FaultSite
+from repro.monitor.session import NULL_MONITOR, Monitor
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
 from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
@@ -146,6 +147,9 @@ class DriveReport:
     #: Deliberately excluded from :meth:`summary` so a report is identical
     #: whether or not the drive was observed.
     telemetry: Telemetry | None = field(default=None, repr=False, compare=False)
+    #: The drive's monitor session (None when run unmonitored); excluded
+    #: from :meth:`summary` for the same non-perturbation reason.
+    monitor: Monitor | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_frames(self) -> int:
@@ -224,10 +228,12 @@ class AdaptiveDetectionSystem:
         repository: BitstreamRepository | None = None,
         fault_plan: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
+        monitor: Monitor | None = None,
     ):
         self.config = config or SystemConfig()
         self.fault_plan = fault_plan
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.monitor = monitor if monitor is not None else NULL_MONITOR
         policy = self.config.degradation
         self.soc = ZynqSoC(
             controller_cls=self.config.controller_cls,
@@ -244,17 +250,25 @@ class AdaptiveDetectionSystem:
             self.report.telemetry = self.telemetry
             if fault_plan is not None:
                 fault_plan.bind_telemetry(self.telemetry)
-        self.soc.on_degradation = self.report.degradations.append
+        if self.monitor.enabled:
+            self.report.monitor = self.monitor
+        self.soc.on_degradation = self._on_soc_degradation
         self._pending_reconfig = False
+
+    def _on_soc_degradation(self, event: DegradationEvent) -> None:
+        self.report.degradations.append(event)
+        if self.monitor.enabled:
+            self.monitor.on_degradation(event)
 
     @property
     def condition(self) -> LightingCondition:
         return self.controller.condition
 
     def _degrade(self, kind: str, detail: str = "") -> None:
-        self.report.degradations.append(
-            DegradationEvent(time_s=self.soc.sim.now, kind=kind, detail=detail)
-        )
+        event = DegradationEvent(time_s=self.soc.sim.now, kind=kind, detail=detail)
+        self.report.degradations.append(event)
+        if self.monitor.enabled:
+            self.monitor.on_degradation(event)
         if self.telemetry.enabled:
             self.telemetry.event(
                 "degrade", time_s=self.soc.sim.now, action=kind, detail=detail
@@ -264,6 +278,8 @@ class AdaptiveDetectionSystem:
     def _handle_change(self, change: ConditionChange) -> None:
         """Apply the switching policy for one condition change."""
         self.report.condition_changes.append(change)
+        if self.monitor.enabled:
+            self.monitor.on_condition_change(change)
         if self.telemetry.enabled:
             self.telemetry.event(
                 "condition.change",
@@ -303,6 +319,8 @@ class AdaptiveDetectionSystem:
         def done(report: ReconfigReport) -> None:
             report.attempt = attempt
             self.report.reconfigurations.append(report)
+            if self.monitor.enabled:
+                self.monitor.on_reconfig(report)
             if not report.ok:
                 self._schedule_retry(configuration, attempt, report.error)
 
@@ -314,6 +332,8 @@ class AdaptiveDetectionSystem:
             report = self.soc.pr.reports[-1]
             report.attempt = attempt
             self.report.reconfigurations.append(report)
+            if self.monitor.enabled:
+                self.monitor.on_reconfig(report)
             self._schedule_retry(configuration, attempt, str(exc))
 
     def _schedule_retry(self, configuration: str, attempt: int, error: str) -> None:
@@ -355,10 +375,15 @@ class AdaptiveDetectionSystem:
             raise ConfigurationError("drive duration must be positive")
         sensor = sensor or LightSensor(trace, noise_rel=0.03, faults=self.fault_plan)
         frame_period = 1.0 / self.config.fps
+        deadline_ms = frame_period * 1e3
         n_frames = int(duration_s * self.config.fps)
         sim = self.soc.sim
         telemetry = self.telemetry
         observed = telemetry.enabled
+        monitor = self.monitor
+        monitored = monitor.enabled
+        if monitored:
+            monitor.begin_drive(self, trace, sensor, duration_s, n_frames)
         fault_plan = self.fault_plan
         fault_cursor = len(fault_plan.events) if fault_plan is not None else 0
         degrade_cursor = len(self.report.degradations)
@@ -436,10 +461,14 @@ class AdaptiveDetectionSystem:
                         telemetry.counter("drive_vehicle_dropped").inc()
                     if not ped_ok:
                         telemetry.counter("drive_pedestrian_dropped").inc()
+            wall_ms: float | None = None
             if observed:
-                telemetry.histogram("frame_wall_ms").observe(
-                    frame_span.wall_duration_s * 1e3
-                )
+                wall_ms = frame_span.wall_duration_s * 1e3
+                telemetry.histogram("frame_wall_ms").observe(wall_ms)
+                if wall_ms > deadline_ms:
+                    telemetry.counter("frame_deadline_misses_total").inc()
+            if monitored:
+                monitor.observe_frame(record, expected_config, wall_ms=wall_ms)
         sim.run_until(duration_s + 0.1)
         telemetry.tracer.end(
             drive_span,
@@ -453,4 +482,6 @@ class AdaptiveDetectionSystem:
                 self.report.drops_per_reconfiguration()
             )
             self.soc.record_telemetry()
+        if monitored:
+            monitor.finish_drive()
         return self.report

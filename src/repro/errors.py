@@ -75,3 +75,7 @@ class ConfigurationError(ReproError):
 
 class FaultInjectionError(ReproError):
     """A fault plan is malformed or was driven inconsistently."""
+
+
+class MonitoringError(ReproError):
+    """The runtime monitor was configured or driven inconsistently."""

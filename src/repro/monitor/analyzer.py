@@ -1,0 +1,258 @@
+"""Post-mortem analysis of incident bundles.
+
+Three renderers over a reloaded :class:`~repro.monitor.bundle.IncidentBundle`:
+
+* :func:`render_timeline` — every frame, typed zynq event, SLO violation,
+  health transition, and trigger interleaved in time order;
+* :func:`root_cause_hints` — scored candidate causes (injected faults,
+  degradation actions, PR/DMA events, reconfigurations in flight, lighting
+  switches) ranked by how close they landed to the trigger;
+* :func:`render_report` — the human-facing digest the
+  ``python -m repro incident report`` command prints.
+
+The analyzer is deliberately heuristic: it *ranks evidence already in the
+bundle*, it does not re-run anything.  Re-running is ``incident replay``'s
+job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.monitor.bundle import IncidentBundle
+
+#: Lookback horizon: evidence older than this before the trigger scores ~0.
+HINT_LOOKBACK_S = 5.0
+
+#: Zynq event kinds that are themselves plausible causes, with base weights.
+_CAUSAL_EVENT_WEIGHTS = {
+    "pr.timeout": 0.95,
+    "dma.error": 0.9,
+    "pr.stall": 0.85,
+    "dma.stall": 0.8,
+    "soc.degrade": 0.6,
+    "partition.down": 0.4,
+    "frame.dropped": 0.2,
+}
+
+
+@dataclass(frozen=True)
+class Hint:
+    """One scored root-cause candidate."""
+
+    score: float
+    kind: str      # "fault", "degradation", "zynq-event", "reconfig", ...
+    text: str
+
+    def label(self) -> str:
+        return f"[{self.score:.2f}] {self.kind}: {self.text}"
+
+
+def _proximity(dt_s: float) -> float:
+    """1.0 at the trigger, decaying to ~0 at the lookback horizon."""
+    if dt_s < 0:  # evidence *after* the trigger: aftermath, heavily discounted
+        return 0.25 / (1.0 + abs(dt_s))
+    if dt_s > HINT_LOOKBACK_S:
+        return 0.05
+    return 1.0 / (1.0 + dt_s)
+
+
+def root_cause_hints(bundle: IncidentBundle, limit: int = 8) -> list[Hint]:
+    """Scored root-cause candidates, best first."""
+    if not bundle.triggers:
+        return []
+    trigger = bundle.triggers[0]
+    t0 = trigger.time_s
+    scored: dict[tuple[str, str], float] = {}
+
+    def add(kind: str, text: str, weight: float, at_s: float) -> None:
+        score = weight * _proximity(t0 - at_s)
+        key = (kind, text)
+        if score > scored.get(key, 0.0):
+            scored[key] = score
+
+    previous_condition: str | None = None
+    for snapshot in bundle.frames:
+        record = snapshot.record
+        t = float(record.get("time_s", 0.0))
+        frame = record.get("index")
+        for label in record.get("faults", ()):
+            if label.startswith("fault:"):
+                add(
+                    "fault",
+                    f"injected {label[len('fault:'):]} "
+                    f"({abs(t0 - t):.2f} s {'before' if t <= t0 else 'after'} trigger, frame {frame})",
+                    1.0,
+                    t,
+                )
+            elif label.startswith("degrade:"):
+                add(
+                    "degradation",
+                    f"recovery action {label[len('degrade:'):]} (frame {frame})",
+                    0.7,
+                    t,
+                )
+        if record.get("reconfiguring"):
+            add(
+                "reconfig",
+                "partial reconfiguration in flight around the trigger",
+                0.5,
+                t,
+            )
+        condition = record.get("condition")
+        if previous_condition is not None and condition != previous_condition:
+            add(
+                "lighting",
+                f"lighting condition switched {previous_condition} -> {condition} (frame {frame})",
+                0.45,
+                t,
+            )
+        previous_condition = condition
+        for event in snapshot.zynq_events:
+            kind = event.get("kind", "")
+            weight = _CAUSAL_EVENT_WEIGHTS.get(kind)
+            if weight is None:
+                continue
+            source = event.get("source", "?")
+            add("zynq-event", f"{kind} from {source} (frame {frame})", weight, t)
+    for violation in bundle.violations:
+        slo = violation.get("slo", "?")
+        weight = 0.9 if slo in ("reconfig-failed", "degradation") else 0.4
+        add(
+            "slo",
+            f"{slo} violation: {violation.get('detail', '')}".rstrip(": "),
+            weight,
+            float(violation.get("time_s", t0)),
+        )
+    hints = [Hint(score=round(score, 4), kind=kind, text=text) for (kind, text), score in scored.items()]
+    hints.sort(key=lambda h: (-h.score, h.kind, h.text))
+    return hints[:limit]
+
+
+def _frame_line(snapshot) -> str:
+    record = snapshot.record
+    flags = "".join(
+        flag
+        for flag, on in (
+            ("R", record.get("reconfiguring")),
+            ("D", record.get("degraded")),
+            ("v", not record.get("vehicle_accepted")),
+            ("p", not record.get("pedestrian_accepted")),
+        )
+        if on
+    )
+    parts = [
+        f"frame {record.get('index'):>6}",
+        f"cond={record.get('condition')}",
+        f"cfg={record.get('vehicle_configuration') or '-'}",
+        f"health={snapshot.health}",
+    ]
+    if flags:
+        parts.append(f"[{flags}]")
+    if snapshot.wall_ms is not None:
+        parts.append(f"{snapshot.wall_ms:.2f}ms")
+    if record.get("faults"):
+        parts.append("; ".join(record["faults"]))
+    return " ".join(parts)
+
+
+def render_timeline(bundle: IncidentBundle) -> str:
+    """Interleaved time-ordered view of everything in the bundle."""
+    rows: list[tuple[float, int, str]] = []
+    for snapshot in bundle.frames:
+        t = snapshot.time_s
+        rows.append((t, 3, _frame_line(snapshot)))
+        for event in snapshot.zynq_events:
+            rows.append(
+                (
+                    float(event.get("time_s", t)),
+                    2,
+                    f"event {event.get('kind')} source={event.get('source')}",
+                )
+            )
+    for trigger in bundle.triggers:
+        rows.append((trigger.time_s, 0, f">>> {trigger.label()}"))
+    for violation in bundle.violations:
+        rows.append(
+            (
+                float(violation.get("time_s", 0.0)),
+                1,
+                f"slo  {violation.get('slo')} [{violation.get('severity')}] "
+                f"{violation.get('detail', '')}".rstrip(),
+            )
+        )
+    for transition in bundle.transitions:
+        rows.append(
+            (
+                float(transition.get("time_s", 0.0)),
+                1,
+                f"health {transition.get('previous')} -> {transition.get('new')} "
+                f"({transition.get('reason', '')})",
+            )
+        )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    lines = [f"incident {bundle.incident_id}  ({len(bundle.frames)} frames)"]
+    lines += [f"  t={t:10.4f}s  {text}" for t, _, text in rows]
+    return "\n".join(lines)
+
+
+def render_report(bundle: IncidentBundle) -> str:
+    """The ``incident report`` digest: summary, causes, context."""
+    start, end = bundle.window
+    lines = [
+        f"incident   {bundle.incident_id}",
+        f"path       {bundle.path}",
+        f"schema     v{bundle.manifest.get('schema_version')}  "
+        f"repro {bundle.manifest.get('repro_version', '?')}  "
+        f"git {str(bundle.manifest.get('git_revision'))[:12]}",
+        f"window     frames {start}..{end} ({len(bundle.frames)} recorded)",
+    ]
+    plan = (bundle.manifest.get("drive") or {}).get("fault_plan")
+    if plan:
+        lines.append(f"fault plan {plan.get('name')} ({len(plan.get('specs', []))} specs)")
+    lines.append("")
+    lines.append("triggers:")
+    for trigger in bundle.triggers:
+        lines.append(f"  t={trigger.time_s:.3f}s frame {trigger.frame_index}: {trigger.label()}")
+    by_slo: dict[str, int] = {}
+    for violation in bundle.violations:
+        slo = violation.get("slo", "?")
+        by_slo[slo] = by_slo.get(slo, 0) + 1
+    if by_slo:
+        lines.append("")
+        lines.append("slo violations in window:")
+        for slo, count in sorted(by_slo.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {slo:<22} x{count}")
+    if bundle.transitions:
+        lines.append("")
+        lines.append("health transitions:")
+        for transition in bundle.transitions:
+            lines.append(
+                f"  t={float(transition.get('time_s', 0.0)):.3f}s "
+                f"{transition.get('previous')} -> {transition.get('new')} "
+                f"({transition.get('reason', '')})"
+            )
+    hints = root_cause_hints(bundle)
+    lines.append("")
+    lines.append("root-cause hints (best first):")
+    if hints:
+        for i, hint in enumerate(hints, start=1):
+            lines.append(f"  {i}. {hint.label()}")
+    else:
+        lines.append("  (no candidate causes found in the window)")
+    return "\n".join(lines)
+
+
+def render_list(bundles: list[IncidentBundle]) -> str:
+    """One line per bundle for ``incident list``."""
+    if not bundles:
+        return "no incident bundles found"
+    lines = []
+    for bundle in bundles:
+        trigger = bundle.triggers[0].label() if bundle.triggers else "<no trigger>"
+        start, end = bundle.window
+        lines.append(
+            f"{bundle.incident_id:<32} frames {start:>6}..{end:<6} "
+            f"violations={len(bundle.violations):<3} {trigger}"
+        )
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ from repro.telemetry.exporters import (
     export_chrome,
     export_jsonl,
     export_text,
+    filter_spans,
     load_dump,
     render_report,
     summarize_file,
@@ -68,6 +69,7 @@ __all__ = [
     "export_chrome",
     "export_jsonl",
     "export_text",
+    "filter_spans",
     "load_dump",
     "render_report",
     "snapshot_values",

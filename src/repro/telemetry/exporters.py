@@ -12,12 +12,20 @@ Three formats, one source of truth (a :class:`Telemetry` session):
   :func:`load_dump`.
 * **text** — the aggregate report (per-span-name timing table + metrics),
   also what ``python -m repro telemetry`` prints for a dump file.
+
+:func:`load_dump` additionally recognises monitor *incident bundles* (a
+directory holding ``manifest.json`` + ``records.jsonl``) and lifts their
+embedded spans/metrics into a :class:`TelemetryDump`, so the ``telemetry``
+command can summarise an incident with the same report pipeline.  The
+bundle files are parsed directly here — importing :mod:`repro.monitor`
+from the telemetry layer would invert the dependency.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigurationError
@@ -151,7 +159,14 @@ def _jsonable(value: Any) -> Any:
 
 
 def load_dump(path: str) -> TelemetryDump:
-    """Reload an exported dump; the format is sniffed from the content."""
+    """Reload an exported dump; the format is sniffed from the content.
+
+    Accepts jsonl and Chrome dumps (by content), and incident-bundle
+    directories or their ``manifest.json`` (by shape).
+    """
+    p = Path(path)
+    if p.is_dir() or p.name == "manifest.json":
+        return _load_bundle(p)
     with open(path, "r", encoding="utf-8") as fh:
         content = fh.read()
     stripped = content.lstrip()
@@ -181,6 +196,72 @@ def _load_jsonl(content: str, path: str) -> TelemetryDump:
         else:
             raise ConfigurationError(f"{path}:{lineno}: unknown record type {kind!r}")
     return dump
+
+
+def _load_bundle(path: Path) -> TelemetryDump:
+    """Lift the telemetry carried inside a monitor incident bundle."""
+    manifest_path = path / "manifest.json" if path.is_dir() else path
+    records_path = manifest_path.parent / "records.jsonl"
+    if not manifest_path.is_file() or not records_path.is_file():
+        raise ConfigurationError(
+            f"{path} is not an incident bundle (needs manifest.json + records.jsonl)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{manifest_path}: not valid JSON ({exc})") from exc
+    dump = TelemetryDump()
+    dump.meta = {
+        "source": "incident-bundle",
+        "incident_id": manifest.get("incident_id", manifest_path.parent.name),
+        "schema_version": manifest.get("schema_version"),
+        "trigger": (manifest.get("trigger") or {}).get("kind"),
+    }
+    counts: dict[str, int] = {}
+    for lineno, line in enumerate(
+        records_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{records_path}:{lineno}: not valid JSONL ({exc})"
+            ) from exc
+        kind = record.pop("type", None)
+        if kind == "span":
+            dump.spans.append(Span.from_dict(record))
+        elif kind == "metric":
+            dump.metrics.append(record)
+        elif kind is not None:
+            counts[kind] = counts.get(kind, 0) + 1
+    for kind, count in sorted(counts.items()):
+        dump.meta[f"{kind}_records"] = count
+    return dump
+
+
+def filter_spans(
+    spans: list[Span], since_s: float | None = None, until_s: float | None = None
+) -> list[Span]:
+    """Spans overlapping the simulator-clock window ``[since_s, until_s]``.
+
+    A span overlaps when any part of it lies inside the window; open spans
+    count as zero-length at their start.  ``None`` bounds are unbounded.
+    """
+    if since_s is not None and until_s is not None and until_s < since_s:
+        raise ConfigurationError(
+            f"empty span window: until ({until_s}) is before since ({since_s})"
+        )
+    selected: list[Span] = []
+    for span in spans:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        if since_s is not None and end_s < since_s:
+            continue
+        if until_s is not None and span.start_s > until_s:
+            continue
+        selected.append(span)
+    return selected
 
 
 def _load_chrome(content: str, path: str) -> TelemetryDump:

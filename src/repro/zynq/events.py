@@ -175,6 +175,11 @@ class Trace:
     that call :meth:`emit` then produce *typed* telemetry events (kind +
     attributes) alongside the human-readable record, so the same call site
     feeds both ``python -m repro fig7`` and a Perfetto dump.
+
+    :attr:`listeners` receive every typed event as ``(time, source, kind,
+    attrs)``; the runtime monitor subscribes here to fold SoC events into
+    frame snapshots.  The list is empty by default, so unobserved traces
+    pay one truthiness check per emit and nothing else.
     """
 
     def __init__(
@@ -193,6 +198,7 @@ class Trace:
         self.dropped = 0
         self.logged = 0
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.listeners: list[Callable[[float, str, str, dict[str, Any]], None]] = []
 
     def log(self, time: float, source: str, message: str) -> None:
         """Append one human-readable record (evicting under ring-buffer mode)."""
@@ -217,6 +223,9 @@ class Trace:
         self.log(time, source, message)
         if self.tracer.enabled:
             self.tracer.event(kind, time_s=time, source=source, **attrs)
+        if self.listeners:
+            for listener in list(self.listeners):
+                listener(time, source, kind, attrs)
 
     def from_source(self, source: str) -> list[TraceRecord]:
         """Records logged by one component."""

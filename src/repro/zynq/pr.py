@@ -75,6 +75,22 @@ class ReconfigReport:
         """Measured MB/s (decimal MB, as reported in the paper)."""
         return throughput_mbs(self.size_bytes, self.duration_s)
 
+    def to_dict(self) -> dict:
+        """Plain-data form for bundles, exports, and summaries."""
+        return {
+            "controller": self.controller,
+            "bitstream": self.bitstream,
+            "size_bytes": self.size_bytes,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_ms": self.duration_s * 1e3,
+            "throughput_mb_s": self.throughput_mb_s,
+            "ok": self.ok,
+            "error": self.error,
+            "attempt": self.attempt,
+            "timed_out": self.timed_out,
+        }
+
 
 class BasePrController:
     """Shared PR controller machinery over a configuration data path."""

@@ -336,6 +336,23 @@ class ZynqSoC:
         ):
             self.telemetry.gauge("irq_delivered", line=line).set(self.interrupts.count(line))
 
+    def observability_snapshot(self) -> dict:
+        """Small, deterministic counter snapshot for frame-level monitoring.
+
+        Everything here is a pure function of the simulation (no wall
+        clocks, no host state), so the runtime monitor can embed it in
+        replayable frame records.  Distinct from :meth:`stats`, which is a
+        human-facing digest and free to grow non-deterministic context.
+        """
+        return {
+            "pedestrian_processed": self.pedestrian.frames_processed,
+            "pedestrian_dropped": self.pedestrian.frames_dropped,
+            "vehicle_processed": self.vehicle.frames_processed,
+            "vehicle_dropped": self.vehicle.frames_dropped,
+            "vehicle_model": self.vehicle_model,
+            "reconfigurations": len(self.reconfigurations),
+        }
+
     def stats(self) -> dict:
         """Point-in-time counters of every SoC component."""
         return {

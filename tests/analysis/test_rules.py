@@ -309,3 +309,34 @@ class TestBenchRegistry:
         src = "def resize_bench(ctx):\n    return lambda: None\n"
         assert only(src, "bench-registry", module="repro.perf.runner") == []
         assert only(src, "bench-registry", module=NON_SIM_MODULE) == []
+
+
+class TestMonitorEventVocabulary:
+    def test_fires_on_unknown_kind(self):
+        src = "monitor.emit_event('monitor.bogus', 1.0)\n"
+        assert only(src, "monitor-event-vocabulary") == ["monitor-event-vocabulary"]
+
+    def test_quiet_on_declared_kinds(self):
+        src = (
+            "monitor.emit_event('monitor.trigger', 1.0, trigger='fault')\n"
+            "monitor.emit_event('monitor.incident', 2.0)\n"
+            "monitor.emit_event('slo.violation', 3.0, slo='frame-deadline')\n"
+            "monitor.emit_event('health.transition', 4.0)\n"
+        )
+        assert only(src, "monitor-event-vocabulary") == []
+
+    def test_fires_on_non_literal_kind(self):
+        src = "monitor.emit_event(kind_var, 1.0)\n"
+        assert only(src, "monitor-event-vocabulary") == ["monitor-event-vocabulary"]
+
+    def test_kind_keyword_is_checked_too(self):
+        assert only("m.emit_event(kind='slo.violation', time_s=0.0)\n",
+                    "monitor-event-vocabulary") == []
+        assert only("m.emit_event(kind='slo.nope', time_s=0.0)\n",
+                    "monitor-event-vocabulary") == ["monitor-event-vocabulary"]
+
+    def test_applies_outside_sim_domains(self):
+        src = "monitor.emit_event('monitor.bogus', 1.0)\n"
+        assert only(src, "monitor-event-vocabulary", module=NON_SIM_MODULE) == [
+            "monitor-event-vocabulary"
+        ]

@@ -1,0 +1,86 @@
+"""The ``python -m repro incident`` surface: smoke, list, report, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor.cli import main as incident_main
+
+pytestmark = pytest.mark.monitor
+
+
+@pytest.fixture(scope="module")
+def smoke_dir(tmp_path_factory):
+    """One recorded smoke run shared by every CLI test in this module."""
+    out = tmp_path_factory.mktemp("incident-cli")
+    code = incident_main(
+        ["smoke", "--dir", str(out), "--duration", "30", "--scenario", "flaky_dma"]
+    )
+    assert code == 0
+    return out
+
+
+class TestSmoke:
+    def test_smoke_reports_and_replays(self, smoke_dir, capsys):
+        code = incident_main(["list", str(smoke_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "incident-000-fault" in out
+        assert "trigger:fault" in out
+
+    def test_smoke_failure_when_scenario_is_quiet(self, tmp_path, capsys):
+        # One second of daylight never reconfigures, so the corrupted dark
+        # bitstream is never touched and no incident can fire.
+        code = incident_main(
+            ["smoke", "--dir", str(tmp_path), "--duration", "1",
+             "--scenario", "corrupt_bitstream"]
+        )
+        assert code == 1
+        assert "no incident bundle" in capsys.readouterr().out
+
+
+class TestInspection:
+    def test_show_renders_a_timeline(self, smoke_dir, capsys):
+        assert incident_main(["show", str(smoke_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "trigger" in out and "frame" in out
+
+    def test_report_names_the_injected_fault(self, smoke_dir, capsys):
+        bundle = sorted(p for p in smoke_dir.iterdir() if p.is_dir())[0]
+        assert incident_main(["report", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "root-cause hints" in out
+        assert "dma-error" in out
+
+    def test_replay_verifies_every_bundle(self, smoke_dir, capsys):
+        assert incident_main(["replay", str(smoke_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "OK " in out and "FAIL" not in out
+
+    def test_replay_fails_on_a_tampered_bundle(self, smoke_dir, tmp_path, capsys):
+        import shutil
+
+        bundle = sorted(p for p in smoke_dir.iterdir() if p.is_dir())[0]
+        copy = tmp_path / bundle.name
+        shutil.copytree(bundle, copy)
+        records = copy / "records.jsonl"
+        text = records.read_text(encoding="utf-8")
+        records.write_text(text.replace('"lux"', '"xul"', 1), encoding="utf-8")
+        assert incident_main(["replay", str(copy)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestUsage:
+    def test_missing_action_is_a_usage_error(self, capsys):
+        assert incident_main([]) == 2
+        capsys.readouterr()
+
+    def test_missing_bundle_is_an_error(self, tmp_path, capsys):
+        assert incident_main(["report", str(tmp_path)]) == 2
+        assert "no incident bundle" in capsys.readouterr().err
+
+    def test_top_level_cli_delegates(self, smoke_dir, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["incident", "list", str(smoke_dir)]) == 0
+        assert "incident-000-fault" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""End-to-end incident determinism: record, bundle, replay, byte-verify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive.sensor import LightSensor, sunset_trace
+from repro.core.system import AdaptiveDetectionSystem
+from repro.faults.scenarios import SCENARIOS, get_scenario
+from repro.monitor import Monitor, list_bundles, load_bundle
+from repro.monitor.analyzer import render_report, root_cause_hints
+from repro.monitor.replay import replay_bundle
+
+pytestmark = pytest.mark.monitor
+
+DURATION_S = 30.0
+
+
+def record_scenario(tmp_path, name: str) -> Monitor:
+    trace = sunset_trace(duration_s=DURATION_S)
+    plan = get_scenario(name, DURATION_S)
+    monitor = Monitor.recording(tmp_path)
+    system = AdaptiveDetectionSystem(fault_plan=plan, monitor=monitor)
+    sensor = LightSensor(trace, noise_rel=0.03, seed=23, faults=plan)
+    system.run_drive(trace, duration_s=DURATION_S, sensor=sensor)
+    return monitor
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_every_scenario_produces_a_replayable_bundle(tmp_path, name):
+    monitor = record_scenario(tmp_path, name)
+    bundles = list_bundles(tmp_path)
+    assert bundles, f"scenario {name!r} produced no incident bundle"
+    assert monitor.bundles == bundles
+    # Replaying the first bundle re-runs the whole drive from the manifest
+    # and must byte-verify every frame core in the window.
+    result = replay_bundle(bundles[0])
+    assert result.ok, f"{name}: {result.detail}"
+    assert result.frames_compared > 0
+    assert result.mismatched_indices == []
+
+
+def test_worst_case_replays_every_bundle_and_names_the_fault(tmp_path):
+    record_scenario(tmp_path, "worst_case")
+    bundles = list_bundles(tmp_path)
+    assert bundles
+    for path in bundles:
+        result = replay_bundle(path)
+        assert result.ok, f"{path.name}: {result.detail}"
+    # The acceptance criterion: the post-mortem names the injected fault.
+    bundle = load_bundle(bundles[0])
+    hints = root_cause_hints(bundle)
+    assert hints
+    top = hints[0]
+    assert top.kind == "fault"
+    assert "dma-error" in top.text
+    report = render_report(bundle)
+    assert "root-cause hints" in report
+    assert "dma-error" in report
+
+
+def test_tampered_bundle_fails_replay(tmp_path):
+    record_scenario(tmp_path, "flaky_dma")
+    bundle_dir = list_bundles(tmp_path)[0]
+    records = bundle_dir / "records.jsonl"
+    text = records.read_text(encoding="utf-8")
+    assert '"lux"' in text
+    records.write_text(text.replace('"lux"', '"xul"', 1), encoding="utf-8")
+    result = replay_bundle(bundle_dir)
+    assert not result.ok
+    assert result.mismatched_indices
+
+
+def test_bundle_manifest_carries_replay_provenance(tmp_path):
+    record_scenario(tmp_path, "flaky_dma")
+    bundle = load_bundle(list_bundles(tmp_path)[0])
+    manifest = bundle.manifest
+    assert manifest["schema_version"] == 1
+    drive = manifest["drive"]
+    assert drive["sensor"]["seed"] == 23
+    assert drive["fault_plan"]["name"] == "flaky_dma"
+    assert drive["system"]["pr_controller"] == "paper-pr"
+    assert drive["trace_points"], "lux trace knots must be recorded"
+    assert manifest["budgets"]["frame_budget_ms"] == 20.0
