@@ -29,7 +29,7 @@ _ARTEFACT_REPORTS: list[str] = []
 
 #: Where the session snapshot lands: the repository root, next to the
 #: BENCH_*.json trajectory that ``python -m repro bench`` writes.
-BENCH_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_repro.json"
+BENCH_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_artefacts.json"
 
 
 def pytest_addoption(parser):
@@ -90,7 +90,7 @@ def pytest_terminal_summary(terminalreporter):
 
 
 def _flush_bench_snapshot():
-    """Write the session's paper-artefact costs to ``BENCH_repro.json``.
+    """Write the session's paper-artefact costs to ``BENCH_artefacts.json``.
 
     Uses the same schema-versioned writer as ``python -m repro bench``, so
     the pytest-benchmark flow feeds the same BENCH_* trajectory: the
@@ -102,7 +102,7 @@ def _flush_bench_snapshot():
 
     doc = build_snapshot(
         results=[],
-        label="repro",
+        label="artefacts",
         metrics=BENCH_METRICS.snapshot(),
         extra={"artefact_reports": list(_ARTEFACT_REPORTS)},
     )

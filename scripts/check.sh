@@ -35,6 +35,21 @@ PYTHONPATH=src python -m repro lint src || status=1
 echo "== repro bench --smoke (perf harness sanity; no snapshot written)"
 PYTHONPATH=src python -m repro bench --smoke >/dev/null || status=1
 
+if [[ $fast -eq 0 ]]; then
+    echo "== repro bench --compare BENCH_repro.json (regression gate vs committed baseline)"
+    # --threshold 0.5: the baseline was measured on a different (shared)
+    # box; between-run load drift here is routinely +/-30%, which the
+    # within-run MAD noise floor cannot see (PERF.md, "Baselines and the
+    # regression gate").  The gate exists to catch structural slowdowns --
+    # un-batching a window scan costs 5-20x -- not scheduling jitter.
+    PYTHONPATH=src python -m repro bench --compare BENCH_repro.json --threshold 0.5 || status=1
+else
+    echo "== bench compare: skipped (--fast)"
+fi
+
+echo "== pytest -m equivalence (batched vs reference byte-identity)"
+PYTHONPATH=src python -m pytest -x -q -m equivalence || status=1
+
 echo "== repro incident smoke (flight recorder: induce, bundle, replay)"
 PYTHONPATH=src python -m repro incident smoke --duration 20 --scenario flaky_dma >/dev/null || status=1
 

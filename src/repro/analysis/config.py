@@ -48,6 +48,10 @@ class LintConfig:
         bench_suite_packages: Packages holding ``@bench`` suites, held to
             the bench-registry contract (registered, unit-suffixed,
             clock-free).
+        hot_path_packages: Packages whose sliding-window scans must score
+            through the batched entry points; per-window ``predict`` /
+            ``decision`` calls inside loops are flagged there unless the
+            enclosing function is a ``*_reference`` branch.
         select: When non-empty, only these rule ids run.
         ignore: Rule ids to skip.
     """
@@ -84,6 +88,7 @@ class LintConfig:
     api_packages: tuple[str, ...] = ("repro.pipelines", "repro.zynq")
     span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
     bench_suite_packages: tuple[str, ...] = ("repro.perf.suites",)
+    hot_path_packages: tuple[str, ...] = ("repro.pipelines", "repro.core")
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
 
@@ -121,6 +126,13 @@ class LintConfig:
         return any(
             module == pkg or module.startswith(pkg + ".")
             for pkg in self.bench_suite_packages
+        )
+
+    def in_hot_path(self, module: str) -> bool:
+        """True when ``module`` must keep its window scans batched."""
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.hot_path_packages
         )
 
     def is_span_exempt(self, module: str) -> bool:

@@ -12,7 +12,7 @@ frames return no detections.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -53,11 +53,16 @@ class FunctionalConfig:
         reconfiguration_s: Blind window after a dusk<->dark switch (the
             hardware's ~20 ms; configurable for experiments).
         multiscale: Use pyramid detection for the HOG pipelines.
+        batched: Run every pipeline's sliding-window stage on the batched
+            hot path.  False selects the per-window reference scans —
+            byte-identical results (the equivalence suite pins this), just
+            slower; useful to bisect a suspected batching bug in the field.
     """
 
     controller: ControllerConfig = field(default_factory=ControllerConfig)
     reconfiguration_s: float = 0.0205
     multiscale: bool = False
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.reconfiguration_s < 0:
@@ -82,10 +87,22 @@ class AdaptiveVehicleDetector:
         if dark_detector.dbn is None or dark_detector.matcher is None:
             raise PipelineError("dark detector must be trained")
         self.config = config or FunctionalConfig()
-        base = HogSvmVehicleDetector(day_dusk_config)
+        hog_config = day_dusk_config or DayDuskConfig()
+        if hog_config.batched != self.config.batched:
+            hog_config = replace(hog_config, batched=self.config.batched)
+        base = HogSvmVehicleDetector(hog_config)
         self._hog = {
             name: base.with_model(model) for name, model in condition_models.items()
         }
+        if dark_detector.config.batched != self.config.batched:
+            # Same trained stages, path flag flipped — detectors are cheap
+            # shells around their models.
+            dark_detector = DarkVehicleDetector(
+                replace(dark_detector.config, batched=self.config.batched),
+                dbn=dark_detector.dbn,
+                matcher=dark_detector.matcher,
+                telemetry=dark_detector.telemetry,
+            )
         self._dark = dark_detector
         self.controller = LightingController(self.config.controller, initial=initial)
         self.fault_plan = fault_plan

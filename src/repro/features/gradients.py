@@ -45,6 +45,27 @@ def gradient_field(image: np.ndarray) -> GradientField:
     return GradientField(magnitude=magnitude, orientation=orientation)
 
 
+def gradient_field_batch(windows: np.ndarray) -> GradientField:
+    """Unsigned gradient fields of an (N, H, W) window stack at once.
+
+    Every operation is elementwise or a fixed slice, so plane ``i`` of the
+    result is bitwise equal to ``gradient_field(windows[i])`` — the batched
+    HOG descriptor leans on that to stay byte-identical to the per-window
+    reference.  The returned :class:`GradientField` carries 3-D arrays.
+    """
+    stack = np.asarray(windows, dtype=np.float64)
+    if stack.ndim != 3:
+        raise FeatureError(f"windows must be (N, H, W), got shape {stack.shape}")
+    if stack.shape[1] < 1 or stack.shape[2] < 1:
+        raise FeatureError(f"windows must be non-empty, got shape {stack.shape}")
+    padded = np.pad(stack, ((0, 0), (1, 1), (1, 1)), mode="edge")
+    gx = 0.5 * (padded[:, 1:-1, 2:] - padded[:, 1:-1, :-2])
+    gy = 0.5 * (padded[:, 2:, 1:-1] - padded[:, :-2, 1:-1])
+    magnitude = np.hypot(gx, gy)
+    orientation = np.mod(np.arctan2(gy, gx), np.pi)
+    return GradientField(magnitude=magnitude, orientation=orientation)
+
+
 def orientation_bins(field: GradientField, n_bins: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Soft-assign each pixel's orientation to two adjacent bins.
 

@@ -17,9 +17,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from numpy.lib.stride_tricks import sliding_window_view
+
 from repro.errors import FeatureError
-from repro.features.gradients import GradientField, gradient_field, orientation_bins
+from repro.features.gradients import (
+    GradientField,
+    gradient_field,
+    gradient_field_batch,
+    orientation_bins,
+)
 from repro.imaging.image import ensure_gray
+from repro.ml.kernels import square_norm_rows
 
 
 @dataclass(frozen=True)
@@ -131,18 +139,101 @@ def cell_histograms_from_field(field: GradientField, cell_size: int, n_bins: int
     return hist
 
 
+def cell_histograms_batch(windows: np.ndarray, cell_size: int, n_bins: int) -> np.ndarray:
+    """Cell histograms for an (N, H, W) stack of independent windows.
+
+    One vectorised gradient pass plus one scatter-add covers the whole
+    stack.  Window ``i`` of the result is bitwise equal to
+    ``cell_histograms_from_field(gradient_field(windows[i]), ...)``: the
+    gradient/binning math is elementwise, and the scatter visits each
+    window's pixels in the same order as the single-window path (windows
+    never share a histogram slot, so per-slot accumulation order — and
+    therefore float rounding — is unchanged).
+
+    Returns:
+        (N, cell_rows, cell_cols, n_bins) histogram tensor.
+    """
+    stack = np.asarray(windows, dtype=np.float64)
+    if stack.ndim != 3:
+        raise FeatureError(f"windows must be (N, H, W), got shape {stack.shape}")
+    n, height, width = stack.shape
+    if height % cell_size or width % cell_size:
+        raise FeatureError(
+            f"window shape {(height, width)} not divisible by cell_size {cell_size}"
+        )
+    if n == 0:
+        return np.zeros((0, height // cell_size, width // cell_size, n_bins))
+    field = gradient_field_batch(stack)
+    bin_lo, w_lo, w_hi = orientation_bins(field, n_bins)
+    bin_hi = (bin_lo + 1) % n_bins
+    rows, cols = height // cell_size, width // cell_size
+    cell_row = np.repeat(np.arange(rows), cell_size)
+    cell_col = np.repeat(np.arange(cols), cell_size)
+    plane_cell = cell_row[:, None] * cols + cell_col[None, :]
+    flat_cell = (np.arange(n) * (rows * cols))[:, None, None] + plane_cell[None, :, :]
+    mag = field.magnitude
+    flat_hist = np.zeros(n * rows * cols * n_bins, dtype=np.float64)
+    np.add.at(flat_hist, (flat_cell * n_bins + bin_lo).ravel(), (mag * w_lo).ravel())
+    np.add.at(flat_hist, (flat_cell * n_bins + bin_hi).ravel(), (mag * w_hi).ravel())
+    return flat_hist.reshape(n, rows, cols, n_bins)
+
+
 def normalize_block(block: np.ndarray, clip: float = 0.2, eps: float = 1e-6) -> np.ndarray:
-    """L2-Hys normalisation of one flattened block vector."""
+    """L2-Hys normalisation of one flattened block vector.
+
+    The squared norms use the same fixed-order einsum summation as the
+    vectorised :func:`normalize_block_rows`, so normalising one block alone
+    is bitwise equal to normalising it inside any batch of blocks.
+    """
     vec = np.asarray(block, dtype=np.float64).ravel()
-    norm = np.sqrt(np.dot(vec, vec) + eps**2)
+    norm = np.sqrt(np.einsum("d,d->", vec, vec) + eps**2)
     vec = vec / norm
     vec = np.minimum(vec, clip)
-    norm = np.sqrt(np.dot(vec, vec) + eps**2)
+    norm = np.sqrt(np.einsum("d,d->", vec, vec) + eps**2)
     return vec / norm
+
+
+def normalize_block_rows(rows: np.ndarray, clip: float = 0.2, eps: float = 1e-6) -> np.ndarray:
+    """L2-Hys normalisation of a (N, block_length) batch of block vectors.
+
+    Row ``i`` is bitwise equal to ``normalize_block(rows[i])`` — both paths
+    share the batch-size-invariant squared-norm kernel — which lets the
+    dense and batched descriptors reuse one vectorised normaliser without
+    perturbing the per-window reference output.
+    """
+    batch = np.asarray(rows, dtype=np.float64)
+    if batch.ndim != 2:
+        raise FeatureError(f"rows must be (N, block_length), got shape {batch.shape}")
+    norm = np.sqrt(square_norm_rows(batch) + eps**2)
+    vec = batch / norm[:, None]
+    np.minimum(vec, clip, out=vec)
+    norm = np.sqrt(square_norm_rows(vec) + eps**2)
+    vec /= norm[:, None]
+    return vec
+
+
+def _block_rows(cells: np.ndarray, config: HogConfig) -> np.ndarray:
+    """Gather overlapping blocks of a (..., rows, cols, n_bins) tensor.
+
+    Returns a (..., block_rows, block_cols, block_length) array whose last
+    axis is each block flattened in the (cell_row, cell_col, bin) order the
+    per-block loop used — a pure strided copy, no arithmetic.
+    """
+    bs, stride = config.block_size, config.block_stride
+    view = sliding_window_view(cells, (bs, bs), axis=(-3, -2))
+    view = view[..., ::stride, ::stride, :, :, :]
+    # view axes: (..., block_rows, block_cols, n_bins, bs, bs); reorder the
+    # trailing three to (bs, bs, n_bins) to match ravel() of a block slice.
+    ordered = np.moveaxis(view, -3, -1)
+    return ordered.reshape(*ordered.shape[:-3], config.block_length)
 
 
 def normalize_blocks(cells: np.ndarray, config: HogConfig) -> np.ndarray:
     """Form overlapping blocks from a cell-histogram tensor and L2-Hys them.
+
+    Vectorised: one strided gather plus one batched normalisation replaces
+    the per-block Python loop (bitwise-identical output; see
+    :func:`normalize_block_rows`).
 
     Args:
         cells: (rows, cols, n_bins) cell histograms (any rows/cols >= block).
@@ -156,18 +247,15 @@ def normalize_blocks(cells: np.ndarray, config: HogConfig) -> np.ndarray:
             f"cells must be (rows, cols, {config.n_bins}), got {tensor.shape}"
         )
     rows, cols, _ = tensor.shape
-    bs, stride = config.block_size, config.block_stride
+    bs = config.block_size
     if rows < bs or cols < bs:
         raise FeatureError(f"cell grid {rows}x{cols} smaller than block {bs}x{bs}")
-    block_rows = (rows - bs) // stride + 1
-    block_cols = (cols - bs) // stride + 1
-    out = np.zeros((block_rows, block_cols, config.block_length), dtype=np.float64)
-    for br in range(block_rows):
-        for bc in range(block_cols):
-            r0, c0 = br * stride, bc * stride
-            block = tensor[r0 : r0 + bs, c0 : c0 + bs, :]
-            out[br, bc, :] = normalize_block(block, clip=config.clip)
-    return out
+    gathered = _block_rows(tensor, config)
+    block_rows, block_cols = gathered.shape[:2]
+    flat = normalize_block_rows(
+        gathered.reshape(block_rows * block_cols, config.block_length), clip=config.clip
+    )
+    return flat.reshape(block_rows, block_cols, config.block_length)
 
 
 class HogDescriptor:
@@ -192,11 +280,32 @@ class HogDescriptor:
         return blocks.ravel()
 
     def extract_batch(self, windows: np.ndarray) -> np.ndarray:
-        """Descriptors for a stack of windows shaped (N, H, W)."""
+        """Descriptors for a stack of windows shaped (N, H, W).
+
+        Routed through the dense vectorised path — one gradient pass, one
+        histogram scatter and one batched block normalisation for the whole
+        stack — while staying bitwise equal to
+        ``np.stack([self.extract(w) for w in windows])`` (pinned by
+        ``tests/features/test_hog.py``).
+        """
         batch = np.asarray(windows, dtype=np.float64)
         if batch.ndim != 3:
             raise FeatureError(f"windows must be (N, H, W), got {batch.shape}")
-        return np.stack([self.extract(w) for w in batch])
+        cfg = self.config
+        if batch.shape[0] == 0:
+            return np.zeros((0, cfg.feature_length))
+        if batch.shape[1:] != cfg.window:
+            raise FeatureError(
+                f"window stack shape {batch.shape[1:]} != window {cfg.window}"
+            )
+        cells = cell_histograms_batch(batch, cfg.cell_size, cfg.n_bins)
+        gathered = _block_rows(cells, cfg)
+        n = batch.shape[0]
+        flat = normalize_block_rows(
+            gathered.reshape(n * cfg.blocks_shape[0] * cfg.blocks_shape[1], cfg.block_length),
+            clip=cfg.clip,
+        )
+        return flat.reshape(n, cfg.feature_length)
 
     def extract_dense(self, image: np.ndarray) -> tuple[np.ndarray, "DenseHogLayout"]:
         """Cell/block features over a whole frame for sliding-window reuse.
@@ -241,6 +350,91 @@ class DenseHogLayout:
             for r in range(0, self.frame_block_rows - wb_r + 1, cell_stride)
             for c in range(0, self.frame_block_cols - wb_c + 1, cell_stride)
         ]
+
+    def window_grid(self, cell_stride: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """The (row_origins, col_origins) axes of the window grid.
+
+        The full position list is their row-major product, in exactly the
+        order :meth:`window_positions` yields.
+        """
+        if cell_stride < 1:
+            raise FeatureError(f"cell_stride must be >= 1, got {cell_stride}")
+        wb_r, wb_c = self.window_blocks
+        rows = np.arange(0, max(self.frame_block_rows - wb_r + 1, 0), cell_stride)
+        cols = np.arange(0, max(self.frame_block_cols - wb_c + 1, 0), cell_stride)
+        return rows, cols
+
+    def window_index_grid(self, cell_stride: int = 1) -> np.ndarray:
+        """All window origins as an (n_windows, 2) int array, row-major.
+
+        Row ``i`` equals ``window_positions(cell_stride)[i]`` — the batched
+        scorer and the per-window reference path walk the same grid in the
+        same order, so their outputs align index for index.
+        """
+        rows, cols = self.window_grid(cell_stride)
+        if rows.size == 0 or cols.size == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        mesh = np.stack(np.meshgrid(rows, cols, indexing="ij"), axis=-1)
+        return mesh.reshape(-1, 2).astype(np.int64, copy=False)
+
+    def window_feature_matrix(
+        self,
+        blocks: np.ndarray,
+        cell_stride: int = 1,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Every window's descriptor gathered into one (n_windows, D) matrix.
+
+        One strided view plus one copy replaces n_windows Python-level
+        slices: block histograms shared by overlapping windows are computed
+        once in ``blocks`` and fanned out here.  Row ``i`` is bitwise equal
+        to ``window_feature(blocks, *window_positions(cell_stride)[i])``
+        (it is the same bytes, moved not recomputed).
+
+        Args:
+            blocks: Dense block tensor from ``HogDescriptor.extract_dense``.
+            cell_stride: Window grid stride in block units.
+            out: Optional preallocated C-contiguous (n_windows, D) float64
+                buffer — steady-state frames can reuse it and allocate
+                nothing here.
+
+        Returns:
+            (n_windows, feature_length) matrix (``out`` when given).
+        """
+        wb_r, wb_c = self.window_blocks
+        if blocks.ndim != 3 or blocks.shape[:2] != (
+            self.frame_block_rows,
+            self.frame_block_cols,
+        ):
+            raise FeatureError(
+                f"blocks shape {blocks.shape} does not match layout "
+                f"({self.frame_block_rows}, {self.frame_block_cols}, ...)"
+            )
+        rows, cols = self.window_grid(cell_stride)
+        n = rows.size * cols.size
+        length = self.config.feature_length
+        if out is None:
+            out = np.empty((n, length), dtype=np.float64)
+        elif (
+            out.shape != (n, length)
+            or out.dtype != np.float64
+            or not out.flags.c_contiguous
+        ):
+            raise FeatureError(
+                f"out buffer must be C-contiguous float64 {(n, length)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        if n == 0:
+            return out
+        view = sliding_window_view(blocks, (wb_r, wb_c), axis=(0, 1))
+        sub = view[::cell_stride, ::cell_stride]
+        sub = sub[: rows.size, : cols.size]
+        # sub axes: (rows, cols, L, wb_r, wb_c) — reorder the trailing trio
+        # to the (wb_r, wb_c, L) ravel order of window_feature and copy
+        # straight into the output buffer.
+        shaped = out.reshape(rows.size, cols.size, wb_r, wb_c, blocks.shape[2])
+        np.copyto(shaped, sub.transpose(0, 1, 3, 4, 2))
+        return out
 
     def window_feature(self, blocks: np.ndarray, block_row: int, block_col: int) -> np.ndarray:
         """Slice one window's descriptor out of the dense block tensor."""

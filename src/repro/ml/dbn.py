@@ -177,6 +177,25 @@ class DeepBeliefNetwork:
         """Most probable class per sample."""
         return np.argmax(self.predict_proba(data), axis=1)
 
+    def decision_batch(self, data: np.ndarray) -> np.ndarray:
+        """Raw head logits for a strict (N, n_visible) batch.
+
+        The whole stack runs as one GEMM per layer through the
+        batch-size-invariant kernels, so row ``i`` is bitwise independent
+        of the batch it rides in — the property the dark pipeline's
+        reference-vs-batched equivalence tests rely on.
+        """
+        if not self._trained:
+            raise NotTrainedError("DeepBeliefNetwork has not been fit")
+        x = np.asarray(data, dtype=np.float64)
+        if x.ndim != 2:
+            raise ModelError(f"decision_batch needs (N, {self.n_visible}), got {x.shape}")
+        return self.head.decision_batch(self.transform(x))
+
+    def predict_batch(self, data: np.ndarray) -> np.ndarray:
+        """Most probable class per row for a strict (N, n_visible) batch."""
+        return np.argmax(self.decision_batch(data), axis=1)
+
     def score(self, data: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on a labelled set."""
         y = np.asarray(labels, dtype=np.int64).ravel()

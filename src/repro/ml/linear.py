@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ModelError, NotTrainedError
+from repro.ml.kernels import affine_rows, ensure_rows
 
 
 @dataclass
@@ -44,21 +45,40 @@ class LinearModel:
         return self.weights.size
 
     def decision_values(self, features: np.ndarray) -> np.ndarray:
-        """Raw margins for one vector or a (N, D) batch."""
+        """Raw margins for one vector or a (N, D) batch.
+
+        Both arities route through the same batch-size-invariant kernel
+        (:func:`repro.ml.kernels.affine_rows`), so a window scored alone is
+        bitwise equal to the same window scored inside any batch — the
+        contract the equivalence suite pins.
+        """
         arr = np.asarray(features, dtype=np.float64)
         if arr.ndim == 1:
             if arr.size != self.n_features:
                 raise ModelError(
                     f"feature length {arr.size} != model dimension {self.n_features}"
                 )
-            return np.asarray(arr @ self.weights + self.bias)
+            return np.asarray(affine_rows(arr[np.newaxis, :], self.weights, self.bias)[0])
         if arr.ndim == 2:
-            if arr.shape[1] != self.n_features:
-                raise ModelError(
-                    f"feature width {arr.shape[1]} != model dimension {self.n_features}"
-                )
-            return arr @ self.weights + self.bias
+            return self.decision_batch(arr)
         raise ModelError(f"features must be 1-D or 2-D, got {arr.ndim}-D")
+
+    def decision_batch(
+        self, features: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Raw margins for a strict (N, D) batch — one kernel call, no loop.
+
+        This is the sliding-window hot path: the whole feature matrix of a
+        frame is scored by a single fixed-order GEMV.  ``out`` may name a
+        preallocated (N,) buffer so steady-state frames allocate nothing.
+        """
+        arr = ensure_rows(features, self.n_features)
+        return affine_rows(arr, self.weights, self.bias, out=out)
+
+    def predict_batch(self, features: np.ndarray) -> np.ndarray:
+        """Class labels for a strict (N, D) batch."""
+        values = self.decision_batch(features)
+        return np.where(values > 0.0, self.label_positive, self.label_negative)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Class labels (label_positive / label_negative)."""

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ModelError, NotTrainedError
+from repro.ml.kernels import affine_matrix, ensure_rows
 from repro.rng import make_rng
 
 
@@ -106,6 +107,18 @@ class SoftmaxLayer:
         self._trained = True
         return losses
 
+    def decision_batch(self, features: np.ndarray) -> np.ndarray:
+        """Raw logits for a strict (N, n_inputs) batch — one GEMM, no loop.
+
+        Routed through the batch-size-invariant kernel so a row's logits do
+        not depend on how many other rows share the batch (the contract the
+        equivalence suite pins for the DBN sliding-window scan).
+        """
+        if not self._trained:
+            raise NotTrainedError("SoftmaxLayer has not been fit")
+        x = ensure_rows(features, self.n_inputs)
+        return affine_matrix(x, self.weights, self.bias)
+
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         """(N, n_classes) class probabilities."""
         if not self._trained:
@@ -113,7 +126,7 @@ class SoftmaxLayer:
         x = np.atleast_2d(np.asarray(features, dtype=np.float64))
         if x.shape[1] != self.n_inputs:
             raise ModelError(f"features must be (N, {self.n_inputs}), got {x.shape}")
-        return softmax(x @ self.weights + self.bias)
+        return softmax(self.decision_batch(x))
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Most probable class per row."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ModelError
+from repro.ml.kernels import affine_matrix
 from repro.ml.logistic import sigmoid
 from repro.rng import make_rng
 
@@ -78,9 +79,14 @@ class Rbm:
     # Inference ----------------------------------------------------------
 
     def hidden_probabilities(self, visible: np.ndarray) -> np.ndarray:
-        """P(h=1 | v) for a batch of visible vectors."""
+        """P(h=1 | v) for a batch of visible vectors.
+
+        Uses the batch-size-invariant kernel: this is the DBN's inference
+        up-pass, so a window propagated alone must equal the same window
+        propagated inside the sliding-scan batch, bit for bit.
+        """
         v = self._check_batch(visible, self.n_visible, "visible")
-        return sigmoid(v @ self.weights + self.hidden_bias)
+        return sigmoid(affine_matrix(v, self.weights, self.hidden_bias))
 
     def visible_probabilities(self, hidden: np.ndarray) -> np.ndarray:
         """P(v=1 | h) for a batch of hidden vectors."""

@@ -153,6 +153,20 @@ class LinearSvm:
         )
 
 
+def decision_batch(
+    model: LinearModel, features: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Margins of a trained SVM over a strict (N, D) window batch.
+
+    The sliding-window entry point: one batch-invariant GEMV over the dense
+    feature matrix replaces N per-window classifier calls.  Delegates to
+    :meth:`repro.ml.linear.LinearModel.decision_batch`; exists here so the
+    SVM hot path has an importable, greppable front door next to the
+    trainer that produced the model.
+    """
+    return model.decision_batch(features, out=out)
+
+
 def train_svm(
     features: np.ndarray,
     labels: np.ndarray,

@@ -11,5 +11,6 @@ from repro.perf.suites import (  # noqa: F401
     features,
     imaging,
     ml,
+    scan,
     zynq,
 )

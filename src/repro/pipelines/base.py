@@ -1,4 +1,4 @@
-"""Shared detection types: detections, pipeline protocol."""
+"""Shared detection types: detections, scratch buffers, pipeline protocol."""
 
 from __future__ import annotations
 
@@ -8,6 +8,35 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.imaging.geometry import Rect
+
+
+class ScratchBuffers:
+    """Keyed pool of preallocated arrays reused across frames.
+
+    A detector running at frame rate allocates the same (n_windows, D)
+    feature matrix and (n_windows,) score vector every frame.  This pool
+    hands the previous frame's buffer back whenever the requested shape and
+    dtype still match, so the batched hot path allocates nothing in steady
+    state; a resolution or stride change simply reallocates once.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def get(
+        self, key: str, shape: tuple[int, ...], dtype: np.dtype | type = np.float64
+    ) -> np.ndarray:
+        """A C-contiguous buffer for ``key``; contents are unspecified."""
+        want = np.dtype(dtype)
+        arr = self._arrays.get(key)
+        if arr is None or arr.shape != tuple(shape) or arr.dtype != want:
+            arr = np.empty(shape, dtype=want)
+            self._arrays[key] = arr
+        return arr
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (e.g. after a resolution change)."""
+        self._arrays.clear()
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,9 @@ class DarkConfig:
             obtained size features": lamps cluster roughly square; wet-road
             reflection streaks cluster tall-and-narrow and are dropped.
         dbn_batch: Max windows classified per DBN forward call.
+        batched: Classify occupied windows in chunked batches (the hot
+            path).  False keeps the one-window-at-a-time reference scan the
+            equivalence suite pins the batched grid against.
     """
 
     luma_threshold: float | None = None
@@ -81,6 +84,7 @@ class DarkConfig:
     max_candidates: int = 24
     aspect_range: tuple[float, float] = (0.36, 2.8)
     dbn_batch: int = 65536
+    batched: bool = True
 
 
 @dataclass
@@ -145,8 +149,13 @@ class DarkVehicleDetector:
         }
 
     def _require_trained(self) -> None:
-        if self.dbn is None or self.matcher is None or self.matcher.model is None:
+        if self.matcher is None or self.matcher.model is None:
             raise PipelineError("DarkVehicleDetector is not trained; call train()")
+        self._require_dbn()
+
+    def _require_dbn(self) -> None:
+        if self.dbn is None:
+            raise PipelineError("DarkVehicleDetector has no DBN; call train()")
 
     # Stages (Fig. 4) ----------------------------------------------------------
 
@@ -189,7 +198,7 @@ class DarkVehicleDetector:
             (ny, nx) int grid of DBN classes (0 = background) where cell
             (i, j) covers mask pixels [2i, 2i+9) x [2j, 2j+9).
         """
-        self._require_trained()
+        self._require_dbn()
         src = np.asarray(mask, dtype=np.float64)
         if src.ndim != 2:
             raise PipelineError(f"mask must be 2-D, got shape {src.shape}")
@@ -202,10 +211,26 @@ class DarkVehicleDetector:
         grid = np.zeros(ny * nx, dtype=np.int64)
         # Only windows with any lit pixel can be taillights; the rest stay 0.
         occupied = np.flatnonzero(flat.any(axis=1))
+        if not self.config.batched:
+            self._dbn_grid_reference(flat, occupied, grid)
+            return grid.reshape(ny, nx)
         for start in range(0, occupied.size, self.config.dbn_batch):
             idx = occupied[start : start + self.config.dbn_batch]
-            grid[idx] = self.dbn.predict(flat[idx])
+            grid[idx] = self.dbn.predict_batch(flat[idx])
         return grid.reshape(ny, nx)
+
+    def _dbn_grid_reference(
+        self, flat: np.ndarray, occupied: np.ndarray, grid: np.ndarray
+    ) -> None:
+        """One-window-at-a-time DBN scan, filled into ``grid`` in place.
+
+        The ground truth the equivalence suite pins ``dbn_grid`` against:
+        the whole stack runs through batch-size-invariant kernels, so a
+        window classified alone equals the same window classified inside
+        any chunk, bit for bit.
+        """
+        for i in occupied:
+            grid[i] = int(self.dbn.predict(flat[i])[0])
 
     def extract_candidates(self, class_grid: np.ndarray) -> list[TaillightCandidate]:
         """Cluster DBN hits into taillight candidates.

@@ -21,7 +21,7 @@ from repro.imaging.image import ensure_rgb
 from repro.imaging.resize import resize_bilinear
 from repro.ml.linear import LinearModel, require_trained
 from repro.ml.svm import LinearSvm, SvmConfig
-from repro.pipelines.base import Detection
+from repro.pipelines.base import Detection, ScratchBuffers
 from repro.telemetry.metrics import DETECTIONS_BUCKETS
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
@@ -37,6 +37,10 @@ class DayDuskConfig:
         decision_threshold: SVM margin above which a window is a vehicle.
         nms_iou: Overlap threshold for non-maximum suppression.
         window_stride_blocks: Dense-scan stride in block units.
+        batched: Score every window of a frame with one gathered feature
+            matrix and one kernel call (the hot path).  False keeps the
+            per-window reference scan the equivalence suite pins the
+            batched path against — byte-identical output, just slow.
     """
 
     hog: HogConfig = HogConfig(window=(64, 64))
@@ -44,6 +48,7 @@ class DayDuskConfig:
     decision_threshold: float = 0.0
     nms_iou: float = 0.3
     window_stride_blocks: int = 2
+    batched: bool = True
 
 
 def hog_features_for_dataset(dataset: ClassificationDataset, hog: HogDescriptor) -> np.ndarray:
@@ -72,6 +77,7 @@ class HogSvmVehicleDetector:
         self.model = model
         self.name = "vehicle-day-dusk"
         self.telemetry = telemetry or NULL_TELEMETRY
+        self._scratch = ScratchBuffers()
 
     # Training (paper Fig. 1) ------------------------------------------------
 
@@ -117,24 +123,15 @@ class HogSvmVehicleDetector:
         pyramid recovers nearer (larger) vehicles by shrinking the frame.
         Detections are reported in native frame coordinates.
         """
-        from repro.imaging.resize import pyramid_scales, resize_bilinear
+        from repro.features.windows import pyramid
 
         rgb = ensure_rgb(frame, "frame")
         plane = luminance(rgb)
         window = self.config.hog.window
-        scales = pyramid_scales(window, plane.shape, scale_step=scale_step)
-        if max_levels is not None:
-            scales = scales[:max_levels]
         all_rects, all_scores = [], []
-        for factor in scales:
-            if factor == 1.0:
-                level = plane
-            else:
-                level = resize_bilinear(
-                    plane,
-                    max(window[0], int(round(plane.shape[0] * factor))),
-                    max(window[1], int(round(plane.shape[1] * factor))),
-                )
+        for factor, level in pyramid(
+            plane, window, scale_step=scale_step, max_levels=max_levels
+        ):
             rects, scores = self._scan_plane(level)
             for rect, score in zip(rects, scores):
                 all_rects.append(rect.scaled(1.0 / factor))
@@ -153,16 +150,39 @@ class HogSvmVehicleDetector:
                 f"frame {plane.shape} smaller than detector window {(win_h, win_w)}"
             )
         blocks, layout = self.hog.extract_dense(plane)
-        positions = layout.window_positions(self.config.window_stride_blocks)
-        if not positions:
+        if not self.config.batched:
+            return self._scan_plane_reference(blocks, layout, model)
+        stride = self.config.window_stride_blocks
+        grid = layout.window_index_grid(stride)
+        n = grid.shape[0]
+        if n == 0:
             return [], []
-        feats = np.stack([layout.window_feature(blocks, r, c) for r, c in positions])
-        scores = model.decision_values(feats)
+        feats = layout.window_feature_matrix(
+            blocks,
+            stride,
+            out=self._scratch.get("scan.features", (n, layout.config.feature_length)),
+        )
+        scores = model.decision_batch(feats, out=self._scratch.get("scan.scores", (n,)))
         rects, kept_scores = [], []
-        for (r, c), score in zip(positions, scores):
+        for i in np.flatnonzero(scores > self.config.decision_threshold):
+            rects.append(layout.window_rect(int(grid[i, 0]), int(grid[i, 1])))
+            kept_scores.append(float(scores[i]))
+        return rects, kept_scores
+
+    def _scan_plane_reference(self, blocks, layout, model) -> tuple[list, list[float]]:
+        """Per-window reference scan: slice, score, threshold, one at a time.
+
+        This is the ground truth the differential equivalence suite pins
+        ``_scan_plane`` against — both paths share the batch-size-invariant
+        scoring kernel, so outputs must match byte for byte.
+        """
+        rects, kept_scores = [], []
+        for r, c in layout.window_positions(self.config.window_stride_blocks):
+            feature = layout.window_feature(blocks, r, c)
+            score = float(model.decision_values(feature))
             if score > self.config.decision_threshold:
                 rects.append(layout.window_rect(r, c))
-                kept_scores.append(float(score))
+                kept_scores.append(score)
         return rects, kept_scores
 
     def detect(self, frame: np.ndarray) -> list[Detection]:

@@ -25,7 +25,7 @@ from repro.imaging.image import ensure_rgb
 from repro.imaging.resize import resize_bilinear
 from repro.ml.linear import LinearModel, require_trained
 from repro.ml.svm import LinearSvm, SvmConfig
-from repro.pipelines.base import Detection
+from repro.pipelines.base import Detection, ScratchBuffers
 from repro.rng import make_rng
 from repro.telemetry.metrics import DETECTIONS_BUCKETS
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
@@ -33,7 +33,12 @@ from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 @dataclass(frozen=True)
 class PedestrianConfig:
-    """Detector parameters; the 64x32 window matches upright pedestrians."""
+    """Detector parameters; the 64x32 window matches upright pedestrians.
+
+    ``batched`` selects the gathered-matrix hot path; False keeps the
+    per-window reference scan (byte-identical output, for the equivalence
+    suite and debugging).
+    """
 
     hog: HogConfig = HogConfig(window=(64, 32))
     svm_c: float = 1.0
@@ -41,6 +46,7 @@ class PedestrianConfig:
     nms_iou: float = 0.3
     window_stride_blocks: int = 2
     negatives_per_frame: int = 6
+    batched: bool = True
 
 
 class PedestrianDetector:
@@ -57,6 +63,7 @@ class PedestrianDetector:
         self.model = model
         self.name = "pedestrian"
         self.telemetry = telemetry or NULL_TELEMETRY
+        self._scratch = ScratchBuffers()
 
     def train_from_frames(self, dataset: DetectionDataset, seed: int = 13) -> LinearModel:
         """Train from annotated frames: ground-truth boxes vs random windows."""
@@ -104,17 +111,7 @@ class PedestrianDetector:
                 f"frame {plane.shape} smaller than detector window {(win_h, win_w)}"
             )
         with telemetry.stage("pedestrian.hog_scan"):
-            blocks, layout = self.hog.extract_dense(plane)
-            positions = layout.window_positions(self.config.window_stride_blocks)
-            if not positions:
-                return []
-            feats = np.stack([layout.window_feature(blocks, r, c) for r, c in positions])
-            scores = model.decision_values(feats)
-        rects, kept = [], []
-        for (r, c), score in zip(positions, scores):
-            if score > self.config.decision_threshold:
-                rects.append(layout.window_rect(r, c))
-                kept.append(float(score))
+            rects, kept = self._scan_plane(plane, model)
         with telemetry.stage("pedestrian.nms"):
             keep = non_max_suppression(rects, kept, iou_threshold=self.config.nms_iou)
         if telemetry.enabled:
@@ -122,3 +119,35 @@ class PedestrianDetector:
                 "detections_per_frame", bounds=DETECTIONS_BUCKETS, detector=self.name
             ).observe(float(len(keep)))
         return [Detection(rect=rects[i], score=kept[i], kind="pedestrian") for i in keep]
+
+    def _scan_plane(self, plane: np.ndarray, model: LinearModel) -> tuple[list, list[float]]:
+        """Dense scan of the luma plane; returns (rects, scores), no NMS."""
+        blocks, layout = self.hog.extract_dense(plane)
+        if not self.config.batched:
+            return self._scan_plane_reference(blocks, layout, model)
+        stride = self.config.window_stride_blocks
+        grid = layout.window_index_grid(stride)
+        n = grid.shape[0]
+        if n == 0:
+            return [], []
+        feats = layout.window_feature_matrix(
+            blocks,
+            stride,
+            out=self._scratch.get("scan.features", (n, layout.config.feature_length)),
+        )
+        scores = model.decision_batch(feats, out=self._scratch.get("scan.scores", (n,)))
+        rects, kept = [], []
+        for i in np.flatnonzero(scores > self.config.decision_threshold):
+            rects.append(layout.window_rect(int(grid[i, 0]), int(grid[i, 1])))
+            kept.append(float(scores[i]))
+        return rects, kept
+
+    def _scan_plane_reference(self, blocks, layout, model) -> tuple[list, list[float]]:
+        """Per-window reference scan pinned byte-identical to the hot path."""
+        rects, kept = [], []
+        for r, c in layout.window_positions(self.config.window_stride_blocks):
+            score = float(model.decision_values(layout.window_feature(blocks, r, c)))
+            if score > self.config.decision_threshold:
+                rects.append(layout.window_rect(r, c))
+                kept.append(score)
+        return rects, kept

@@ -340,3 +340,70 @@ class TestMonitorEventVocabulary:
         assert only(src, "monitor-event-vocabulary", module=NON_SIM_MODULE) == [
             "monitor-event-vocabulary"
         ]
+
+
+class TestBatchedHotPath:
+    PIPELINE = "repro.pipelines.fake"
+
+    def test_fires_on_per_window_loop(self):
+        src = (
+            "def scan(model, windows):\n"
+            "    out = []\n"
+            "    for w in windows:\n"
+            "        out.append(model.decision_values(w))\n"
+            "    return out\n"
+        )
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == ["batched-hot-path"]
+
+    def test_fires_on_predict_in_while_loop(self):
+        src = (
+            "def scan(dbn, flat):\n"
+            "    i = 0\n"
+            "    while i < 10:\n"
+            "        dbn.predict(flat[i])\n"
+            "        i += 1\n"
+        )
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == ["batched-hot-path"]
+
+    def test_fires_on_listcomp(self):
+        src = "def scan(model, ws):\n    return [model.predict_proba(w) for w in ws]\n"
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == ["batched-hot-path"]
+
+    def test_quiet_in_reference_branch(self):
+        src = (
+            "def _scan_plane_reference(model, windows):\n"
+            "    return [float(model.decision_values(w)) for w in windows]\n"
+        )
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == []
+
+    def test_quiet_on_batch_entry_points(self):
+        src = (
+            "def scan(model, chunks):\n"
+            "    for chunk in chunks:\n"
+            "        model.predict_batch(chunk)\n"
+            "        model.decision_batch(chunk)\n"
+        )
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == []
+
+    def test_quiet_on_argless_predict(self):
+        # A kinematic track.predict() is not a classifier scorer.
+        src = "def step(tracks):\n    return [t.predict() for t in tracks]\n"
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == []
+
+    def test_quiet_outside_loops(self):
+        src = "def classify(model, crop):\n    return model.decision_values(crop)\n"
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == []
+
+    def test_quiet_outside_hot_path_packages(self):
+        src = (
+            "def scan(model, windows):\n"
+            "    return [model.decision_values(w) for w in windows]\n"
+        )
+        assert only(src, "batched-hot-path", module="repro.experiments.fake") == []
+
+    def test_loop_in_caller_does_not_taint_helper(self):
+        src = (
+            "def score_one(model, w):\n"
+            "    return model.decision_values(w)\n"
+        )
+        assert only(src, "batched-hot-path", module=self.PIPELINE) == []

@@ -1,0 +1,99 @@
+"""Differential tests: the full adaptive detector, batched vs reference.
+
+A seeded drive crosses day -> dusk -> dark; two AdaptiveVehicleDetector
+instances share the same trained models but opposite ``batched`` flags.
+Every FrameResult — condition, active pipeline, reconfiguration state, and
+each detection down to its score bits — must be identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.functional import AdaptiveVehicleDetector, FunctionalConfig
+from repro.datasets.lighting import LightingCondition, lighting_for_condition
+from repro.datasets.scene import SceneConfig, render_scene
+
+from tests.equivalence.test_pipelines import assert_detections_identical
+
+pytestmark = pytest.mark.equivalence
+
+# (time_s, lux, lighting) samples walking the controller through all three
+# conditions, including the dusk<->dark partial-reconfiguration windows.
+DRIVE = [
+    (0.0, 30000.0, LightingCondition.DAY),
+    (1.0, 30000.0, LightingCondition.DAY),
+    (2.0, 400.0, LightingCondition.DUSK),
+    (5.0, 400.0, LightingCondition.DUSK),
+    (8.0, 1.0, LightingCondition.DARK),
+    (11.0, 1.0, LightingCondition.DARK),
+    (14.0, 1.0, LightingCondition.DARK),
+    (17.0, 400.0, LightingCondition.DUSK),
+    (20.0, 30000.0, LightingCondition.DAY),
+]
+
+
+def drive_frames(seed: int):
+    frames = []
+    for i, (time_s, lux, condition) in enumerate(DRIVE):
+        config = SceneConfig(
+            height=120,
+            width=210,
+            n_vehicles=2,
+            n_oncoming=1,
+            vehicle_fill=(0.1, 0.2),
+            seed=seed * 100 + i,
+        )
+        frames.append((time_s, lux, render_scene(config, lighting_for_condition(condition)).rgb))
+    return frames
+
+
+def make_detector(condition_models, dark_detector, batched: bool) -> AdaptiveVehicleDetector:
+    return AdaptiveVehicleDetector(
+        condition_models,
+        dark_detector,
+        config=FunctionalConfig(batched=batched),
+    )
+
+
+def assert_frame_results_identical(a, b):
+    assert a.time_s == b.time_s
+    assert a.condition is b.condition
+    assert a.active_pipeline == b.active_pipeline
+    assert a.reconfiguring == b.reconfiguring
+    assert a.degraded == b.degraded
+    assert_detections_identical(a.detections, b.detections)
+
+
+class TestAdaptiveDrive:
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_frame_records_identical_across_conditions(
+        self, condition_models, dark_detector, seed
+    ):
+        batched = make_detector(condition_models, dark_detector, batched=True)
+        reference = make_detector(condition_models, dark_detector, batched=False)
+        for time_s, lux, frame in drive_frames(seed):
+            result_b = batched.process(time_s, lux, frame)
+            result_r = reference.process(time_s, lux, frame)
+            assert_frame_results_identical(result_b, result_r)
+        assert len(batched.results) == len(reference.results) == len(DRIVE)
+
+    def test_batched_flag_reaches_all_pipelines(self, condition_models, dark_detector):
+        reference = make_detector(condition_models, dark_detector, batched=False)
+        for detector in reference._hog.values():
+            assert detector.config.batched is False
+        assert reference._dark.config.batched is False
+        assert reference._dark.dbn is dark_detector.dbn  # same trained stages
+        batched = make_detector(condition_models, dark_detector, batched=True)
+        assert batched._dark is dark_detector  # default flag: no reshelling
+
+    def test_multiscale_drive_identical(self, condition_models, dark_detector):
+        config_b = FunctionalConfig(batched=True, multiscale=True)
+        config_r = FunctionalConfig(batched=False, multiscale=True)
+        batched = AdaptiveVehicleDetector(condition_models, dark_detector, config=config_b)
+        reference = AdaptiveVehicleDetector(condition_models, dark_detector, config=config_r)
+        for time_s, lux, frame in drive_frames(3)[:4]:  # day + dusk levels
+            assert_frame_results_identical(
+                batched.process(time_s, lux, frame), reference.process(time_s, lux, frame)
+            )

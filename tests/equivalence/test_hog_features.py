@@ -1,0 +1,112 @@
+"""Differential tests: batched HOG feature paths vs per-window references.
+
+Every batched stage of the descriptor — gradient stack, histogram scatter,
+block normalisation, dense gather — is compared byte for byte against the
+single-window code it replaces, across window shapes and HOG layouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.features.gradients import gradient_field, gradient_field_batch
+from repro.features.hog import (
+    HogConfig,
+    HogDescriptor,
+    cell_histograms,
+    cell_histograms_batch,
+    normalize_block,
+    normalize_block_rows,
+)
+
+pytestmark = pytest.mark.equivalence
+
+CONFIGS = [
+    HogConfig(window=(64, 64)),
+    HogConfig(window=(64, 32)),
+    HogConfig(window=(48, 48), cell_size=6, n_bins=7),
+    HogConfig(window=(64, 64), block_size=3, block_stride=2),
+]
+
+
+class TestGradients:
+    @pytest.mark.parametrize("shape", [(9, 9), (17, 33), (64, 64)])
+    def test_batch_planes_match_single(self, shape):
+        rng = np.random.default_rng(1)
+        stack = rng.random((6, *shape))
+        batch = gradient_field_batch(stack)
+        for i in range(6):
+            single = gradient_field(stack[i])
+            assert batch.magnitude[i].tobytes() == single.magnitude.tobytes()
+            assert batch.orientation[i].tobytes() == single.orientation.tobytes()
+
+
+class TestHistograms:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"{c.window}-c{c.cell_size}")
+    def test_batch_matches_per_window(self, config):
+        rng = np.random.default_rng(2)
+        stack = rng.random((5, *config.window))
+        batch = cell_histograms_batch(stack, config.cell_size, config.n_bins)
+        for i in range(5):
+            single = cell_histograms(stack[i], config)
+            assert batch[i].tobytes() == single.tobytes()
+
+
+class TestNormalization:
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        length=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rows_match_single_block(self, n, length, seed):
+        rows = np.random.default_rng(seed).random((n, length)) * 10.0
+        batch = normalize_block_rows(rows)
+        for i in range(n):
+            assert batch[i].tobytes() == normalize_block(rows[i]).tobytes()
+
+    def test_zero_rows_match(self):
+        rows = np.zeros((3, 36))
+        batch = normalize_block_rows(rows)
+        assert batch[0].tobytes() == normalize_block(rows[0]).tobytes()
+
+
+class TestDescriptor:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"{c.window}-c{c.cell_size}")
+    def test_extract_batch_matches_extract(self, config):
+        hog = HogDescriptor(config)
+        rng = np.random.default_rng(3)
+        stack = rng.random((4, *config.window))
+        batch = hog.extract_batch(stack)
+        reference = np.stack([hog.extract(w) for w in stack])
+        assert batch.tobytes() == reference.tobytes()
+
+
+class TestDenseGather:
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    @pytest.mark.parametrize("frame", [(96, 128), (80, 200), (64, 64)])
+    def test_matrix_rows_match_slices(self, frame, stride):
+        hog = HogDescriptor()
+        rng = np.random.default_rng(4)
+        blocks, layout = hog.extract_dense(rng.random(frame))
+        matrix = layout.window_feature_matrix(blocks, cell_stride=stride)
+        positions = layout.window_positions(stride)
+        assert matrix.shape[0] == len(positions)
+        for i, (r, c) in enumerate(positions):
+            assert matrix[i].tobytes() == layout.window_feature(blocks, r, c).tobytes()
+
+    @given(
+        h=st.integers(min_value=64, max_value=150),
+        w=st.integers(min_value=64, max_value=150),
+        stride=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_matches_slices_arbitrary_frames(self, h, w, stride, seed):
+        hog = HogDescriptor()
+        blocks, layout = hog.extract_dense(np.random.default_rng(seed).random((h, w)))
+        matrix = layout.window_feature_matrix(blocks, cell_stride=stride)
+        for i, (r, c) in enumerate(layout.window_positions(stride)):
+            assert matrix[i].tobytes() == layout.window_feature(blocks, r, c).tobytes()

@@ -132,17 +132,37 @@ class TestDescriptor:
         b = hog.extract(img * 0.5)
         assert np.allclose(a, b, atol=1e-3)
 
-    def test_batch_matches_loop(self):
+    def test_batch_matches_loop_exactly(self):
+        # The batched dense path must be bitwise equal to the per-window
+        # reference stack — exact, not approx (the equivalence suite's
+        # byte-identity claim starts here).
         hog = HogDescriptor()
         rng = np.random.default_rng(8)
-        windows = rng.random((3, 64, 64))
+        windows = rng.random((5, 64, 64))
         batch = hog.extract_batch(windows)
-        for i in range(3):
-            assert np.allclose(batch[i], hog.extract(windows[i]))
+        reference = np.stack([hog.extract(w) for w in windows])
+        assert batch.tobytes() == reference.tobytes()
+
+    def test_batch_pedestrian_window_exact(self):
+        hog = HogDescriptor(HogConfig(window=(64, 32)))
+        rng = np.random.default_rng(18)
+        windows = rng.random((4, 64, 32))
+        batch = hog.extract_batch(windows)
+        reference = np.stack([hog.extract(w) for w in windows])
+        assert batch.tobytes() == reference.tobytes()
+
+    def test_batch_empty_stack(self):
+        hog = HogDescriptor()
+        out = hog.extract_batch(np.zeros((0, 64, 64)))
+        assert out.shape == (0, hog.feature_length)
 
     def test_batch_rejects_2d(self):
         with pytest.raises(FeatureError):
             HogDescriptor().extract_batch(np.zeros((64, 64)))
+
+    def test_batch_rejects_wrong_window(self):
+        with pytest.raises(FeatureError):
+            HogDescriptor().extract_batch(np.zeros((2, 32, 32)))
 
 
 class TestDense:
@@ -182,3 +202,39 @@ class TestDense:
         blocks, layout = hog.extract_dense(np.zeros((96, 128)))
         with pytest.raises(FeatureError):
             layout.window_feature(blocks, 10, 10)
+
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    def test_feature_matrix_matches_per_window_slices(self, stride):
+        hog = HogDescriptor()
+        rng = np.random.default_rng(21)
+        blocks, layout = hog.extract_dense(rng.random((96, 128)))
+        matrix = layout.window_feature_matrix(blocks, cell_stride=stride)
+        positions = layout.window_positions(stride)
+        assert matrix.shape == (len(positions), hog.feature_length)
+        for i, (r, c) in enumerate(positions):
+            assert matrix[i].tobytes() == layout.window_feature(blocks, r, c).tobytes()
+
+    def test_index_grid_matches_positions(self):
+        layout = DenseHogLayout(HogConfig(), 11, 15)
+        for stride in (1, 2, 4):
+            grid = layout.window_index_grid(stride)
+            assert [tuple(row) for row in grid] == layout.window_positions(stride)
+
+    def test_feature_matrix_reuses_out_buffer(self):
+        hog = HogDescriptor()
+        blocks, layout = hog.extract_dense(np.random.default_rng(22).random((96, 128)))
+        n = len(layout.window_positions(2))
+        buf = np.empty((n, hog.feature_length))
+        result = layout.window_feature_matrix(blocks, cell_stride=2, out=buf)
+        assert result is buf
+
+    def test_feature_matrix_rejects_bad_out_buffer(self):
+        hog = HogDescriptor()
+        blocks, layout = hog.extract_dense(np.zeros((96, 128)))
+        with pytest.raises(FeatureError):
+            layout.window_feature_matrix(blocks, out=np.empty((1, 1)))
+
+    def test_feature_matrix_rejects_mismatched_blocks(self):
+        layout = DenseHogLayout(HogConfig(), 11, 15)
+        with pytest.raises(FeatureError):
+            layout.window_feature_matrix(np.zeros((3, 3, 36)))
