@@ -53,6 +53,9 @@ PYTHONPATH=src python -m pytest -x -q -m equivalence || status=1
 echo "== repro incident smoke (flight recorder: induce, bundle, replay)"
 PYTHONPATH=src python -m repro incident smoke --duration 20 --scenario flaky_dma >/dev/null || status=1
 
+echo "== repro fleet smoke (sharded drives vs inline digest re-check)"
+PYTHONPATH=src python -m repro fleet smoke >/dev/null || status=1
+
 if [[ $fast -eq 0 ]]; then
     echo "== pytest (tier 1)"
     PYTHONPATH=src python -m pytest -x -q || status=1

@@ -25,6 +25,13 @@ def _default_monitor_vocabulary() -> frozenset[str]:
     return MONITOR_EVENT_KINDS
 
 
+def _default_fleet_vocabulary() -> frozenset[str]:
+    # Single source of truth: the vocabulary next to FleetScheduler.fleet_event.
+    from repro.fleet.events import FLEET_EVENT_KINDS
+
+    return FLEET_EVENT_KINDS
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Repository-specific knobs consumed by the rules.
@@ -41,6 +48,7 @@ class LintConfig:
         unit_suffixes: Accepted unit suffixes (the paper's units).
         event_vocabulary: Legal ``Trace.emit`` event kinds.
         monitor_vocabulary: Legal ``Monitor.emit_event`` event kinds.
+        fleet_vocabulary: Legal ``FleetScheduler.fleet_event`` event kinds.
         api_packages: Packages whose public surface must carry docstrings
             and complete type annotations.
         span_exempt_modules: Modules implementing the span machinery
@@ -85,6 +93,7 @@ class LintConfig:
     )
     event_vocabulary: frozenset[str] = field(default_factory=_default_event_vocabulary)
     monitor_vocabulary: frozenset[str] = field(default_factory=_default_monitor_vocabulary)
+    fleet_vocabulary: frozenset[str] = field(default_factory=_default_fleet_vocabulary)
     api_packages: tuple[str, ...] = ("repro.pipelines", "repro.zynq")
     span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
     bench_suite_packages: tuple[str, ...] = ("repro.perf.suites",)

@@ -3,6 +3,7 @@
 from repro.analysis.rules import (  # noqa: F401
     api,
     determinism,
+    fleet,
     hotpath,
     monitor,
     perf,

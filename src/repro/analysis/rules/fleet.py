@@ -1,0 +1,62 @@
+"""Fleet-hygiene rules: the scheduler-event vocabulary.
+
+``FleetScheduler.fleet_event`` kinds name rows in fleet rollups
+(``events_by_kind``) and the lifecycle timeline the acceptance tests
+assert on.  A kind outside the declared vocabulary is an event no rollup
+reader will ever look for — the runtime rejects it, but only when that
+code path actually fires; the lint catches it at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+
+@register
+class FleetEventVocabularyRule(Rule):
+    """``FleetScheduler.fleet_event`` kinds come from the declared vocabulary."""
+
+    id = "fleet-event-vocabulary"
+    summary = (
+        "FleetScheduler.fleet_event kinds must be string literals from the "
+        "declared vocabulary (repro.fleet.events.FLEET_EVENT_KINDS)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        vocabulary = module.config.fleet_vocabulary
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fleet_event"
+            ):
+                continue
+            # FleetScheduler.fleet_event(kind, **attrs)
+            kind_node: ast.expr | None = None
+            if node.args:
+                kind_node = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind_node = keyword.value
+            if kind_node is None:
+                continue
+            if not (isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str)):
+                yield self.violation(
+                    module,
+                    kind_node,
+                    "fleet_event kind must be a string literal so the "
+                    "vocabulary is statically checkable",
+                )
+                continue
+            if kind_node.value not in vocabulary:
+                known = ", ".join(sorted(vocabulary))
+                yield self.violation(
+                    module,
+                    kind_node,
+                    f"fleet_event kind {kind_node.value!r} is not in the "
+                    f"declared fleet vocabulary ({known}); add it to "
+                    "repro.fleet.events.FLEET_EVENT_KINDS first",
+                )

@@ -14,6 +14,7 @@
     python -m repro telemetry --telemetry-in PATH [--top N]
                           [--since S] [--until S]   # summarise a dump/bundle
     python -m repro incident list|show|report|replay|smoke ...   # see MONITOR.md
+    python -m repro fleet run|report|smoke ...                   # see FLEET.md
     python -m repro lint [PATHS] [--format text|json] [--select R] [--ignore R]
     python -m repro bench [--smoke] [--compare BASELINE] [--filter S]
     python -m repro all [--scale S]      # everything, in paper order
@@ -271,6 +272,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.monitor.cli import main as incident_main
 
         return incident_main(argv[1:])
+    if argv[:1] == ["fleet"]:
+        # And for the many-vehicle fleet service (run/report/smoke).
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artefacts of the DATE'19 adaptive-detection paper.",
@@ -381,6 +387,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'lint':<{width}}  reprolint static analysis over src/ (see ANALYSIS.md)")
         print(f"  {'bench':<{width}}  statistical benchmarks + regression gate (see PERF.md)")
         print(f"  {'incident':<{width}}  flight-recorder bundles: list/report/replay (see MONITOR.md)")
+        print(f"  {'fleet':<{width}}  many-vehicle drive service: run/report/smoke (see FLEET.md)")
         return 0
 
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

@@ -5,6 +5,15 @@ from repro.core.functional import (
     FrameResult,
     FunctionalConfig,
 )
+from repro.core.spec import (
+    CHAOS_MODES,
+    TRACE_FACTORIES,
+    DriveSpec,
+    derive_drive_seed,
+    frame_core_bytes,
+    frame_core_dict,
+    frames_digest,
+)
 from repro.core.system import (
     MODEL_FOR_CONDITION,
     AdaptiveDetectionSystem,
@@ -12,16 +21,25 @@ from repro.core.system import (
     DriveReport,
     FrameRecord,
     SystemConfig,
+    run_drive_spec,
 )
 
 __all__ = [
     "AdaptiveDetectionSystem",
     "AdaptiveVehicleDetector",
+    "CHAOS_MODES",
     "DegradationPolicy",
+    "DriveSpec",
     "FrameResult",
     "FunctionalConfig",
     "DriveReport",
     "FrameRecord",
     "MODEL_FOR_CONDITION",
     "SystemConfig",
+    "TRACE_FACTORIES",
+    "derive_drive_seed",
+    "frame_core_bytes",
+    "frame_core_dict",
+    "frames_digest",
+    "run_drive_spec",
 ]

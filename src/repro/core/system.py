@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.adaptive.controller import ConditionChange, ControllerConfig, LightingController
 from repro.adaptive.policy import CONFIG_FOR_CONDITION, SwitchKind, plan_switch
 from repro.adaptive.sensor import LightSensor, LuxTrace
+from repro.core.spec import DriveSpec
 from repro.datasets.lighting import LightingCondition
 from repro.errors import ConfigurationError, ReconfigurationError
 from repro.faults.plan import DegradationEvent, FaultPlan, FaultSite
@@ -255,6 +256,33 @@ class AdaptiveDetectionSystem:
         self.soc.on_degradation = self._on_soc_degradation
         self._pending_reconfig = False
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec: DriveSpec,
+        telemetry: Telemetry | None = None,
+        monitor: Monitor | None = None,
+        repository: BitstreamRepository | None = None,
+    ) -> "AdaptiveDetectionSystem":
+        """Materialise a system from a plain-data :class:`DriveSpec`.
+
+        The spec carries no live objects — the fault plan is rebuilt fresh
+        (fully re-armed) and the system config is derived from the spec's
+        scalar fields, so the construction is identical in every process
+        that receives the same spec dict.
+        """
+        config = SystemConfig(
+            fps=spec.fps,
+            initial_condition=LightingCondition(spec.initial_condition),
+        )
+        return cls(
+            config=config,
+            repository=repository,
+            fault_plan=spec.build_fault_plan(),
+            telemetry=telemetry,
+            monitor=monitor,
+        )
+
     def _on_soc_degradation(self, event: DegradationEvent) -> None:
         self.report.degradations.append(event)
         if self.monitor.enabled:
@@ -485,3 +513,26 @@ class AdaptiveDetectionSystem:
         if monitored:
             monitor.finish_drive()
         return self.report
+
+
+def run_drive_spec(
+    spec: DriveSpec,
+    telemetry: Telemetry | None = None,
+    monitor: Monitor | None = None,
+    repository: BitstreamRepository | None = None,
+) -> DriveReport:
+    """One drive from a plain-data spec: the cheap, reentrant fleet unit.
+
+    Everything the drive needs — system, fault plan, trace, seeded sensor —
+    is materialised here from the spec's scalar fields, so the caller can
+    hold nothing but a dict.  Two calls with equal specs produce reports
+    whose frame cores are byte-identical (``frames_digest``), with or
+    without telemetry/monitoring attached — the non-perturbation contract
+    the fleet determinism tests pin.
+    """
+    system = AdaptiveDetectionSystem.from_spec(
+        spec, telemetry=telemetry, monitor=monitor, repository=repository
+    )
+    trace = spec.build_trace()
+    sensor = spec.build_sensor(trace, system.fault_plan)
+    return system.run_drive(trace, duration_s=spec.duration_s, sensor=sensor)

@@ -79,3 +79,7 @@ class FaultInjectionError(ReproError):
 
 class MonitoringError(ReproError):
     """The runtime monitor was configured or driven inconsistently."""
+
+
+class FleetError(ReproError):
+    """The fleet scheduler was configured or driven inconsistently."""

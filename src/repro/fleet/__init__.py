@@ -1,0 +1,62 @@
+"""repro.fleet: multiplexed many-vehicle drive service.
+
+Shards seeded :class:`~repro.core.spec.DriveSpec` drives across worker
+processes, contains worker crashes and timeouts as per-drive outcomes,
+and folds everything into a schema-versioned fleet rollup
+(``FLEET_*.json``).  See FLEET.md for the full design.
+
+Unlike the simulation domains, this package is *about* wall clocks and
+processes — it is deliberately outside the determinism lint fence.  The
+determinism contract lives one level down: every drive it schedules is a
+pure function of its spec, pinned by frame-core digests.
+"""
+
+from repro.fleet.events import FLEET_EVENT_KINDS, check_fleet_event_kind
+from repro.fleet.outcome import (
+    OUTCOME_STATUSES,
+    WALL_METRIC_NAMES,
+    WALL_OUTCOME_FIELDS,
+    DriveOutcome,
+    deterministic_metrics,
+    deterministic_outcome_dict,
+)
+from repro.fleet.rollup import (
+    FLEET_SCHEMA,
+    FLEET_SCHEMA_VERSION,
+    WALL_ROLLUP_KEYS,
+    build_rollup,
+    deterministic_view,
+    load_rollup,
+    render_rollup,
+    validate_rollup,
+    write_rollup,
+)
+from repro.fleet.scheduler import Admission, FleetConfig, FleetScheduler, run_fleet
+from repro.fleet.specs import sweep_specs
+from repro.fleet.worker import execute_spec
+
+__all__ = [
+    "FLEET_EVENT_KINDS",
+    "FLEET_SCHEMA",
+    "FLEET_SCHEMA_VERSION",
+    "OUTCOME_STATUSES",
+    "WALL_METRIC_NAMES",
+    "WALL_OUTCOME_FIELDS",
+    "WALL_ROLLUP_KEYS",
+    "Admission",
+    "DriveOutcome",
+    "FleetConfig",
+    "FleetScheduler",
+    "build_rollup",
+    "check_fleet_event_kind",
+    "deterministic_metrics",
+    "deterministic_outcome_dict",
+    "deterministic_view",
+    "execute_spec",
+    "load_rollup",
+    "render_rollup",
+    "run_fleet",
+    "sweep_specs",
+    "validate_rollup",
+    "write_rollup",
+]

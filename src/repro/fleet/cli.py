@@ -1,0 +1,139 @@
+"""The ``python -m repro fleet`` command surface.
+
+    repro fleet run [--count N] [--workers W] [--duration S] [--seed S]
+                    [--out PATH] [--incidents-dir DIR] [--timeout S]
+                    [--queue-capacity N] [--no-monitor] [--no-latency]
+    repro fleet report PATH
+    repro fleet smoke
+
+``run`` executes a seeded sweep and writes a schema-versioned
+``FLEET_*.json`` rollup.  ``report`` renders an existing rollup.
+``smoke`` is the CI gate: a small sharded run whose per-drive frame
+digests are re-checked against inline in-process execution — the
+byte-identity contract of the whole subsystem, at check.sh cost.
+
+Exit codes: 0 success, 1 degraded (failed/crashed/timeout drives, or a
+smoke mismatch), 2 usage / unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import FleetError, ReproError
+
+
+def _cmd_run(args) -> int:
+    from repro.fleet.rollup import render_rollup, write_rollup
+    from repro.fleet.scheduler import FleetConfig, run_fleet
+    from repro.fleet.specs import sweep_specs
+
+    specs = sweep_specs(args.count, fleet_seed=args.seed, duration_s=args.duration)
+    config = FleetConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        drive_timeout_s=args.timeout,
+        incidents_dir=args.incidents_dir,
+        monitored=not args.no_monitor,
+        record_latency=not args.no_latency,
+    )
+    rollup = run_fleet(specs, config)
+    path = write_rollup(rollup, args.out)
+    print(render_rollup(rollup))
+    print(f"rollup -> {path}")
+    not_ok = rollup["fleet"]["drives"] - rollup["fleet"]["ok"]
+    return 1 if not_ok else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.fleet.rollup import load_rollup, render_rollup
+
+    rollup = load_rollup(args.rollup)
+    print(render_rollup(rollup))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    """Small sharded run + schema validation + inline digest re-check."""
+    from repro.fleet.outcome import DriveOutcome
+    from repro.fleet.rollup import validate_rollup
+    from repro.fleet.scheduler import FleetConfig, run_fleet
+    from repro.fleet.specs import sweep_specs
+    from repro.fleet.worker import execute_spec
+
+    specs = sweep_specs(6, fleet_seed=7, duration_s=2.0)
+    rollup = run_fleet(specs, FleetConfig(workers=2, drive_timeout_s=30.0))
+    validate_rollup(rollup)
+    outcomes = [DriveOutcome.from_dict(o) for o in rollup["outcomes"]]
+    if len(outcomes) != len(specs):
+        print(f"fleet smoke: expected {len(specs)} outcomes, got {len(outcomes)}")
+        return 1
+    bad = [o.name for o in outcomes if not o.ok]
+    if bad:
+        print(f"fleet smoke: non-ok drives {bad}")
+        return 1
+    # Byte-identity spot check: the sharded digests must equal inline ones.
+    for spec, sharded in zip(specs[:2], outcomes[:2]):
+        inline = execute_spec(spec, record_latency=False)
+        if inline.frames_digest != sharded.frames_digest:
+            print(
+                f"fleet smoke: digest mismatch for {spec.name}: "
+                f"inline {inline.frames_digest} != sharded {sharded.frames_digest}"
+            )
+            return 1
+    print(
+        f"fleet smoke ok: {rollup['fleet']['ok']}/{rollup['fleet']['drives']} drives, "
+        f"{rollup['frames']['frames']} frames, digests verified inline"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Multiplexed many-vehicle drive service (see FLEET.md).",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    run = sub.add_parser("run", help="execute a seeded sweep and write a rollup")
+    run.add_argument("--count", type=int, default=64, help="drives in the sweep")
+    run.add_argument("--workers", type=int, default=4, help="worker processes (0 = inline)")
+    run.add_argument("--duration", type=float, default=10.0, help="per-drive sim seconds")
+    run.add_argument("--seed", type=int, default=0, help="fleet seed")
+    run.add_argument("--out", default="FLEET_run.json", help="rollup output path")
+    run.add_argument("--incidents-dir", default=None, help="incident-bundle directory")
+    run.add_argument("--timeout", type=float, default=60.0, help="per-drive wall deadline (s)")
+    run.add_argument("--queue-capacity", type=int, default=256, help="admission queue bound")
+    run.add_argument("--no-monitor", action="store_true", help="run drives unmonitored")
+    run.add_argument("--no-latency", action="store_true", help="skip latency histograms")
+    run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser("report", help="render an existing FLEET_*.json rollup")
+    report.add_argument("rollup", help="path to the rollup artefact")
+    report.set_defaults(func=_cmd_report)
+
+    smoke = sub.add_parser("smoke", help="sharded mini-run + inline digest re-check")
+    smoke.set_defaults(func=_cmd_smoke)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    try:
+        return args.func(args)
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro fleet
+    sys.exit(main())

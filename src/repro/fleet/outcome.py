@@ -1,0 +1,134 @@
+"""``DriveOutcome``: the compact, picklable result of one fleet drive.
+
+An outcome is everything the aggregator needs and nothing it does not:
+the spec that produced it, a status, the drive's frame-core digest (the
+byte-identity comparator from :mod:`repro.core.spec`), the deterministic
+drive summary, the monitor verdict, a per-frame wall-latency histogram,
+a compact telemetry snapshot, and harvested incident-bundle paths.  It
+crosses the worker->scheduler process boundary as a plain dict.
+
+Wall-clock-valued fields are segregated so determinism tests (and the
+rollup's ``deterministic_view``) can strip them: ``latency_ms``,
+``wall_s``, ``worker_id``, and the few metric series that are themselves
+wall-derived (``frame_wall_ms``, ``stage_wall_ms``,
+``frame_deadline_misses_total``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.errors import FleetError
+
+#: Legal outcome statuses.  ``ok`` is the only success; everything else is
+#: a contained failure — the run keeps going either way.
+OUTCOME_STATUSES = ("ok", "failed", "crashed", "timeout", "rejected")
+
+#: Outcome dict keys whose values are wall-clock-derived (stripped by
+#: :func:`deterministic_outcome_dict`).
+WALL_OUTCOME_FIELDS = ("latency_ms", "wall_s", "worker_id")
+
+#: Metric series that carry wall-clock measurements and therefore vary
+#: run to run even for a byte-identical drive.
+WALL_METRIC_NAMES = frozenset(
+    {"frame_wall_ms", "stage_wall_ms", "frame_deadline_misses_total"}
+)
+
+
+@dataclass
+class DriveOutcome:
+    """One drive's result, ready to fold into a fleet rollup.
+
+    Attributes:
+        spec: The producing :class:`~repro.core.spec.DriveSpec` as a dict.
+        status: One of :data:`OUTCOME_STATUSES`.
+        frames_digest: SHA-256 chain over the drive's frame cores
+            (``None`` when the drive produced no frames).
+        summary: :meth:`DriveReport.summary` output (sim-deterministic).
+        verdict: :meth:`Monitor.verdict` output (sim-deterministic when
+            the monitor runs with ``wall_clock_slos=False``, the fleet
+            default); empty dict for unmonitored drives.
+        metrics: Telemetry metric snapshot (plain dicts; empty when the
+            drive ran unobserved).
+        incidents: Incident-bundle paths harvested from the drive.
+        error: Failure detail for non-``ok`` statuses.
+        latency_ms: ``frame_wall_ms`` histogram dict (wall-clock).
+        wall_s: Wall-clock duration of the drive (wall-clock).
+        worker_id: Executing worker (scheduling-dependent).
+    """
+
+    spec: dict
+    status: str
+    frames_digest: str | None = None
+    summary: dict = field(default_factory=dict)
+    verdict: dict = field(default_factory=dict)
+    metrics: list = field(default_factory=list)
+    incidents: list = field(default_factory=list)
+    error: str = ""
+    latency_ms: dict | None = None
+    wall_s: float | None = None
+    worker_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in OUTCOME_STATUSES:
+            raise FleetError(
+                f"unknown outcome status {self.status!r} (one of {OUTCOME_STATUSES})"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def name(self) -> str:
+        return str(self.spec.get("name", "drive"))
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": dict(self.spec),
+            "status": self.status,
+            "frames_digest": self.frames_digest,
+            "summary": dict(self.summary),
+            "verdict": dict(self.verdict),
+            "metrics": list(self.metrics),
+            "incidents": list(self.incidents),
+            "error": self.error,
+            "latency_ms": self.latency_ms,
+            "wall_s": self.wall_s,
+            "worker_id": self.worker_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DriveOutcome":
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise FleetError(
+                f"unknown DriveOutcome fields: {sorted(unknown)} (known: {sorted(known)})"
+            )
+        return cls(**dict(data))
+
+
+def deterministic_metrics(series: Iterable[Mapping]) -> list[dict]:
+    """Drop wall-clock-derived series from a metric snapshot."""
+    return [
+        dict(s)
+        for s in series
+        if s.get("name") not in WALL_METRIC_NAMES
+    ]
+
+
+def deterministic_outcome_dict(outcome: "DriveOutcome | Mapping[str, Any]") -> dict:
+    """An outcome dict with every wall-clock-derived field stripped.
+
+    What remains is a pure function of the spec: two executions of the
+    same spec — different workers, different runs, different machines —
+    produce equal deterministic dicts.  The fleet determinism tests
+    compare exactly this.
+    """
+    data = outcome.to_dict() if isinstance(outcome, DriveOutcome) else dict(outcome)
+    for key in WALL_OUTCOME_FIELDS:
+        data.pop(key, None)
+    data["metrics"] = deterministic_metrics(data.get("metrics", []))
+    return data

@@ -1,0 +1,382 @@
+"""The fleet scheduler: shard seeded drive specs across worker processes.
+
+Admission control first: :meth:`FleetScheduler.submit` either admits a
+spec into a bounded queue or rejects it with a reason (backpressure is a
+first-class answer, not an exception).  :meth:`FleetScheduler.run` then
+drains the queue across ``workers`` forked processes — or inline, in
+submission order, when ``workers=0`` (the sequential reference mode the
+determinism tests compare against).
+
+Containment is the scheduler's core promise: a worker that crashes
+mid-drive or overruns the per-drive deadline costs exactly one outcome
+(``crashed`` / ``timeout``), never the run — the worker is replaced and
+the remaining drives proceed.  Every lifecycle step is emitted through
+:meth:`~FleetScheduler.fleet_event` using the declared
+:data:`~repro.fleet.events.FLEET_EVENT_KINDS` vocabulary.
+
+Results are keyed by submission index, so the outcome list is ordered by
+submission regardless of which worker finished which drive when.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.spec import DriveSpec
+from repro.errors import FleetError
+from repro.fleet.events import check_fleet_event_kind
+from repro.fleet.outcome import DriveOutcome
+from repro.fleet.worker import execute_spec, worker_main
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """How a fleet run executes (not *what* it runs — that is the specs).
+
+    Attributes:
+        workers: Worker process count; ``0`` runs every drive inline in
+            the scheduler process (the deterministic reference mode).
+        queue_capacity: Bound on admitted-but-unexecuted specs; admission
+            beyond it is rejected with a reason.
+        drive_timeout_s: Per-drive wall-clock deadline; an overrunning
+            worker is terminated and the drive recorded as ``timeout``.
+        incidents_dir: Directory for per-drive incident bundles
+            (``None`` keeps monitoring in-memory only).
+        monitored: Attach a ``wall_clock_slos=False`` monitor to each
+            drive (sim-deterministic verdicts).
+        record_latency: Record per-frame wall-latency histograms.
+        poll_interval_s: Scheduler idle-poll period while waiting on
+            workers.
+    """
+
+    workers: int = 4
+    queue_capacity: int = 256
+    drive_timeout_s: float = 60.0
+    incidents_dir: str | None = None
+    monitored: bool = True
+    record_latency: bool = True
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise FleetError(f"workers must be >= 0, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise FleetError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.drive_timeout_s <= 0:
+            raise FleetError(f"drive_timeout_s must be positive, got {self.drive_timeout_s}")
+        if self.poll_interval_s <= 0:
+            raise FleetError(f"poll_interval_s must be positive, got {self.poll_interval_s}")
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "queue_capacity": self.queue_capacity,
+            "drive_timeout_s": self.drive_timeout_s,
+            "incidents_dir": self.incidents_dir,
+            "monitored": self.monitored,
+            "record_latency": self.record_latency,
+            "poll_interval_s": self.poll_interval_s,
+        }
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The answer admission control gives every submitted spec."""
+
+    accepted: bool
+    index: int | None = None
+    reason: str = ""
+
+
+@dataclass
+class _WorkerSlot:
+    """One worker process plus the task it is currently executing."""
+
+    worker_id: int
+    process: Any = None
+    task_queue: Any = None
+    current: "tuple[int, dict] | None" = None  # (index, spec_dict)
+    deadline_s: float = 0.0
+    spawned: int = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+
+class FleetScheduler:
+    """Admit specs, shard them across workers, collect outcomes."""
+
+    def __init__(self, config: FleetConfig | None = None):
+        self.config = config if config is not None else FleetConfig()
+        self.pending: list[tuple[int, dict]] = []
+        self.events: list[dict] = []
+        self.events_by_kind: dict[str, int] = {}
+        self.rejected: list[DriveOutcome] = []
+        self._submitted = 0
+        self._finished = False
+
+    # Events -----------------------------------------------------------------
+
+    def fleet_event(self, kind: str, **attrs: Any) -> None:
+        """Record one scheduler lifecycle event (vocabulary-checked)."""
+        check_fleet_event_kind(kind)
+        self.events.append({"kind": kind, **attrs})
+        self.events_by_kind[kind] = self.events_by_kind.get(kind, 0) + 1
+
+    # Admission --------------------------------------------------------------
+
+    def submit(self, spec: "DriveSpec | Mapping[str, Any]") -> Admission:
+        """Admit one spec into the bounded queue, or reject with a reason."""
+        spec_dict = spec.to_dict() if isinstance(spec, DriveSpec) else DriveSpec.from_dict(spec).to_dict()
+        if self._finished:
+            reason = "run finished: scheduler no longer accepts submissions"
+        elif len(self.pending) >= self.config.queue_capacity:
+            reason = (
+                f"queue full: {len(self.pending)}/{self.config.queue_capacity} "
+                "specs pending (backpressure)"
+            )
+        else:
+            index = self._submitted
+            self._submitted += 1
+            self.pending.append((index, spec_dict))
+            self.fleet_event("fleet.submit", index=index, name=spec_dict["name"])
+            return Admission(accepted=True, index=index)
+        self.fleet_event("fleet.reject", name=spec_dict["name"], reason=reason)
+        self.rejected.append(
+            DriveOutcome(spec=spec_dict, status="rejected", error=reason)
+        )
+        return Admission(accepted=False, reason=reason)
+
+    def submit_all(self, specs: Iterable["DriveSpec | Mapping[str, Any]"]) -> list[Admission]:
+        return [self.submit(spec) for spec in specs]
+
+    # Execution --------------------------------------------------------------
+
+    def run(self) -> list[DriveOutcome]:
+        """Drain the admitted queue; one outcome per admitted spec.
+
+        Outcomes come back ordered by submission index.  The scheduler is
+        single-shot: after ``run`` returns, further submissions are
+        rejected.
+        """
+        tasks = list(self.pending)
+        self.pending = []
+        self.fleet_event(
+            "fleet.run.start", drives=len(tasks), workers=self.config.workers
+        )
+        if self.config.workers == 0:
+            outcomes = self._run_inline(tasks)
+        else:
+            outcomes = self._run_sharded(tasks)
+        self._finished = True
+        by_status: dict[str, int] = {}
+        for outcome in outcomes:
+            by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+        self.fleet_event("fleet.run.done", drives=len(outcomes), by_status=by_status)
+        return outcomes
+
+    def _run_inline(self, tasks: list[tuple[int, dict]]) -> list[DriveOutcome]:
+        """Sequential in-process reference executor (chaos contained)."""
+        outcomes: list[DriveOutcome] = []
+        for index, spec_dict in tasks:
+            self.fleet_event("fleet.drive.start", index=index, name=spec_dict["name"])
+            outcome = execute_spec(
+                spec_dict,
+                worker_id=None,
+                incidents_dir=self.config.incidents_dir,
+                monitored=self.config.monitored,
+                record_latency=self.config.record_latency,
+                contained=True,
+            )
+            outcomes.append(outcome)
+            self.fleet_event(
+                "fleet.drive.done", index=index, name=spec_dict["name"], status=outcome.status
+            )
+        return outcomes
+
+    def _run_sharded(self, tasks: list[tuple[int, dict]]) -> list[DriveOutcome]:
+        """Shard tasks across forked workers with crash/timeout containment."""
+        ctx = multiprocessing.get_context("fork")
+        result_queue = ctx.Queue()
+        slots = [_WorkerSlot(worker_id=wid) for wid in range(self.config.workers)]
+        for slot in slots:
+            slot.task_queue = ctx.Queue()
+            self._spawn(ctx, slot, result_queue)
+        backlog = list(reversed(tasks))  # pop() from the front of submission order
+        results: dict[int, DriveOutcome] = {}
+        total = len(tasks)
+        try:
+            while len(results) < total:
+                self._dispatch(slots, backlog)
+                progressed = self._drain_results(result_queue, slots, results)
+                progressed |= self._contain_failures(ctx, slots, results, result_queue)
+                if not progressed:
+                    time.sleep(self.config.poll_interval_s)
+        finally:
+            self._shutdown(slots)
+        return [results[index] for index, _ in tasks]
+
+    def _spawn(self, ctx: Any, slot: _WorkerSlot, result_queue: Any) -> None:
+        slot.process = ctx.Process(
+            target=worker_main,
+            args=(
+                slot.worker_id,
+                slot.task_queue,
+                result_queue,
+                self.config.incidents_dir,
+                self.config.monitored,
+                self.config.record_latency,
+            ),
+            daemon=True,
+        )
+        slot.process.start()
+        slot.spawned += 1
+        self.fleet_event(
+            "fleet.worker.spawn", worker=slot.worker_id, generation=slot.spawned
+        )
+
+    def _dispatch(self, slots: list[_WorkerSlot], backlog: list[tuple[int, dict]]) -> None:
+        for slot in slots:
+            if not backlog:
+                return
+            if slot.busy:
+                continue
+            index, spec_dict = backlog.pop()
+            slot.current = (index, spec_dict)
+            slot.deadline_s = time.monotonic() + self.config.drive_timeout_s
+            slot.task_queue.put((index, spec_dict))
+            self.fleet_event(
+                "fleet.drive.start",
+                index=index,
+                name=spec_dict["name"],
+                worker=slot.worker_id,
+            )
+
+    def _drain_results(
+        self,
+        result_queue: Any,
+        slots: list[_WorkerSlot],
+        results: dict[int, DriveOutcome],
+    ) -> bool:
+        progressed = False
+        while True:
+            try:
+                index, outcome_dict = result_queue.get_nowait()
+            except queue.Empty:
+                return progressed
+            outcome = DriveOutcome.from_dict(outcome_dict)
+            results[index] = outcome
+            progressed = True
+            for slot in slots:
+                if slot.current is not None and slot.current[0] == index:
+                    slot.current = None
+                    break
+            self.fleet_event(
+                "fleet.drive.done",
+                index=index,
+                name=outcome.name,
+                status=outcome.status,
+            )
+
+    def _contain_failures(
+        self,
+        ctx: Any,
+        slots: list[_WorkerSlot],
+        results: dict[int, DriveOutcome],
+        result_queue: Any,
+    ) -> bool:
+        """Turn dead/overrunning workers into outcomes and respawn them."""
+        progressed = False
+        now_s = time.monotonic()
+        for slot in slots:
+            if not slot.busy:
+                continue
+            index, spec_dict = slot.current  # type: ignore[misc]
+            if not slot.process.is_alive():
+                # A worker only exits mid-task by dying; its in-flight
+                # drive becomes a crashed outcome and the slot respawns.
+                exit_code = slot.process.exitcode
+                slot.process.join()
+                results[index] = DriveOutcome(
+                    spec=spec_dict,
+                    status="crashed",
+                    error=f"worker {slot.worker_id} died (exit code {exit_code})",
+                    worker_id=slot.worker_id,
+                )
+                self.fleet_event(
+                    "fleet.worker.crash",
+                    worker=slot.worker_id,
+                    index=index,
+                    name=spec_dict["name"],
+                    exit_code=exit_code,
+                )
+                slot.current = None
+                self._spawn(ctx, slot, result_queue)
+                progressed = True
+            elif now_s > slot.deadline_s:
+                slot.process.terminate()
+                slot.process.join()
+                results[index] = DriveOutcome(
+                    spec=spec_dict,
+                    status="timeout",
+                    error=(
+                        f"drive exceeded {self.config.drive_timeout_s}s deadline "
+                        f"on worker {slot.worker_id}"
+                    ),
+                    worker_id=slot.worker_id,
+                )
+                self.fleet_event(
+                    "fleet.worker.timeout",
+                    worker=slot.worker_id,
+                    index=index,
+                    name=spec_dict["name"],
+                )
+                slot.current = None
+                self._spawn(ctx, slot, result_queue)
+                progressed = True
+        return progressed
+
+    def _shutdown(self, slots: list[_WorkerSlot]) -> None:
+        for slot in slots:
+            if slot.process is None:
+                continue
+            if slot.process.is_alive():
+                slot.task_queue.put(None)
+        for slot in slots:
+            if slot.process is None:
+                continue
+            slot.process.join(timeout=2.0)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join()
+
+
+def run_fleet(
+    specs: Iterable["DriveSpec | Mapping[str, Any]"],
+    config: FleetConfig | None = None,
+) -> dict:
+    """Submit, execute, and roll up a fleet in one call.
+
+    Returns the schema-versioned rollup dict (see
+    :func:`repro.fleet.rollup.build_rollup`); rejected submissions appear
+    in it as ``rejected`` outcomes alongside the executed drives.
+    """
+    from repro.fleet.rollup import build_rollup
+    from repro.telemetry import Stopwatch
+
+    scheduler = FleetScheduler(config)
+    scheduler.submit_all(specs)
+    with Stopwatch() as stopwatch:
+        outcomes = scheduler.run()
+    return build_rollup(
+        outcomes,
+        rejected=scheduler.rejected,
+        events_by_kind=scheduler.events_by_kind,
+        config=scheduler.config,
+        elapsed_s=stopwatch.elapsed_s,
+    )

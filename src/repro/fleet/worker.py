@@ -1,0 +1,160 @@
+"""The fleet worker: execute one ``DriveSpec``, return one ``DriveOutcome``.
+
+:func:`execute_spec` is the deterministic, reentrant unit of work the
+scheduler shards across processes.  It materialises the drive from plain
+data (:func:`repro.core.system.run_drive_spec`), digests the frame cores,
+extracts the monitor verdict and latency histogram, and folds everything
+into a picklable outcome dict.  A drive that raises is *contained*: the
+exception becomes a ``failed`` outcome, never a dead worker.
+
+:func:`worker_main` is the process entry point: a loop pulling
+``(index, spec_dict)`` tasks from a queue and pushing
+``(index, outcome_dict)`` results back.  Chaos specs
+(``spec.chaos = "crash" | "hang"``) deliberately break the worker —
+hard-exit or sleep past any deadline — so the scheduler's containment
+paths (crash detection, timeout termination, respawn) stay honest under
+test.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.spec import DriveSpec, frames_digest
+from repro.fleet.outcome import DriveOutcome
+from repro.monitor.session import Monitor, MonitorConfig
+from repro.monitor.slo import SloBudgets
+from repro.telemetry import Stopwatch, Telemetry
+
+#: Exit code of a chaos-crashed worker (recognisable in scheduler events).
+CHAOS_EXIT_CODE = 21
+
+#: How long a chaos ``hang`` sleeps — far past any sane drive timeout.
+CHAOS_HANG_S = 3600.0
+
+
+def _spec_of(spec: "DriveSpec | Mapping[str, Any]") -> DriveSpec:
+    if isinstance(spec, DriveSpec):
+        return spec
+    return DriveSpec.from_dict(spec)
+
+
+def execute_spec(
+    spec: "DriveSpec | Mapping[str, Any]",
+    worker_id: int | None = None,
+    incidents_dir: "str | Path | None" = None,
+    monitored: bool = True,
+    record_latency: bool = True,
+    contained: bool = True,
+) -> DriveOutcome:
+    """Run one drive spec to completion and fold it into an outcome.
+
+    ``contained=True`` (the inline/reference mode) turns chaos specs into
+    synthetic ``crashed``/``timeout`` outcomes instead of actually taking
+    the process down — the sequential executor must survive everything the
+    sharded one contains.  Workers call with ``contained=False`` so chaos
+    genuinely breaks them.
+
+    Telemetry and monitoring are observability only: the PR-2/PR-5
+    non-perturbation contract (re-pinned by the fleet tests) guarantees
+    the frame cores — and therefore ``frames_digest`` — are identical
+    whether or not the drive is observed.
+    """
+    spec = _spec_of(spec)
+    if spec.chaos == "crash":
+        if not contained:
+            os._exit(CHAOS_EXIT_CODE)
+        return DriveOutcome(
+            spec=spec.to_dict(),
+            status="crashed",
+            error="chaos: worker crash injected",
+            worker_id=worker_id,
+        )
+    if spec.chaos == "hang":
+        if not contained:
+            time.sleep(CHAOS_HANG_S)
+        return DriveOutcome(
+            spec=spec.to_dict(),
+            status="timeout",
+            error="chaos: worker hang injected",
+            worker_id=worker_id,
+        )
+
+    telemetry = Telemetry.recording() if record_latency else None
+    monitor = None
+    if monitored:
+        out_dir = None
+        if incidents_dir is not None:
+            out_dir = str(Path(incidents_dir) / spec.name)
+        monitor = Monitor(
+            MonitorConfig(
+                out_dir=out_dir,
+                budgets=SloBudgets.for_fps(spec.fps),
+                wall_clock_slos=False,
+            ),
+            telemetry=telemetry,
+        )
+    try:
+        from repro.core.system import run_drive_spec
+
+        with Stopwatch() as stopwatch:
+            report = run_drive_spec(spec, telemetry=telemetry, monitor=monitor)
+    except Exception as exc:  # noqa: BLE001 - containment is the contract
+        return DriveOutcome(
+            spec=spec.to_dict(),
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+            worker_id=worker_id,
+        )
+    latency = None
+    metrics: list = []
+    if telemetry is not None and telemetry.enabled:
+        latency = telemetry.metrics.histogram("frame_wall_ms").to_dict()
+        metrics = telemetry.metrics.snapshot()
+    verdict = monitor.verdict() if monitor is not None else {}
+    incidents = [str(p) for p in monitor.bundles] if monitor is not None else []
+    return DriveOutcome(
+        spec=spec.to_dict(),
+        status="ok",
+        frames_digest=frames_digest(report.frames),
+        summary=report.summary(),
+        verdict=verdict,
+        metrics=metrics,
+        incidents=incidents,
+        latency_ms=latency,
+        wall_s=stopwatch.elapsed_s,
+        worker_id=worker_id,
+    )
+
+
+def worker_main(
+    worker_id: int,
+    task_queue: Any,
+    result_queue: Any,
+    incidents_dir: str | None,
+    monitored: bool,
+    record_latency: bool,
+) -> None:
+    """Process entry point: drain tasks until the ``None`` sentinel.
+
+    Every task is executed with ``contained=False`` — a chaos spec really
+    does kill or hang this process, and the scheduler's containment turns
+    that into an outcome on the parent side.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, spec_dict = item
+        outcome = execute_spec(
+            spec_dict,
+            worker_id=worker_id,
+            incidents_dir=incidents_dir,
+            monitored=monitored,
+            record_latency=record_latency,
+            contained=False,
+        )
+        result_queue.put((index, outcome.to_dict()))

@@ -89,6 +89,7 @@ def _monitor_from_manifest(manifest: dict) -> Monitor:
         trigger_on_reconfig_failure=policy.get("on_reconfig_failure", True),
         trigger_on_critical=policy.get("on_critical", True),
         trigger_on_deadline=policy.get("on_deadline", False),
+        wall_clock_slos=manifest.get("wall_clock_slos", True),
     )
     return Monitor(config)
 

@@ -116,6 +116,12 @@ class MonitorConfig:
         trigger_on_deadline: Freeze on a frame-deadline overrun.  Off by
             default: wall-clock triggers are host-dependent, and windows
             they open would not reproduce under ``incident replay``.
+        wall_clock_slos: Feed measured frame wall times into the SLO
+            evaluators.  On by default (the PR-5 behaviour).  The fleet
+            turns it off so per-drive health verdicts depend only on the
+            simulation — frame wall times are still recorded in snapshots
+            and latency histograms, they just cannot flip the health
+            state, which keeps fleet rollups run-to-run deterministic.
         zynq_event_kinds: Typed trace events copied into frame snapshots.
         include_spans: Copy overlapping telemetry spans into bundles.
     """
@@ -131,6 +137,7 @@ class MonitorConfig:
     trigger_on_reconfig_failure: bool = True
     trigger_on_critical: bool = True
     trigger_on_deadline: bool = False
+    wall_clock_slos: bool = True
     zynq_event_kinds: frozenset[str] = DEFAULT_ZYNQ_EVENT_KINDS
     include_spans: bool = True
 
@@ -308,6 +315,7 @@ class Monitor:
             "budgets": self.config.budgets.to_dict(),
             "recorder": self.config.recorder_dict(),
             "triggers_policy": self.config.triggers_dict(),
+            "wall_clock_slos": self.config.wall_clock_slos,
             "telemetry_enabled": self.telemetry.enabled,
             "drive": {
                 "duration_s": duration_s,
@@ -382,7 +390,7 @@ class Monitor:
         violations, transition = self.health.observe_frame(
             index,
             time_s,
-            wall_ms=wall_ms,
+            wall_ms=wall_ms if self.config.wall_clock_slos else None,
             degraded=record.degraded,
             detections=detections,
         )
@@ -575,6 +583,24 @@ class Monitor:
             "triggers_suppressed": self.recorder.triggers_suppressed,
             "incidents": len(self.recorder.incidents),
             "bundles": [str(p) for p in self.bundles],
+        }
+
+    def verdict(self) -> dict:
+        """The compact per-drive verdict a fleet outcome carries.
+
+        A flattened subset of :meth:`summary`: the folded health state,
+        violation counts by SLO, and the trigger/incident tallies — plain
+        scalars that merge cheaply into fleet rollups.  With
+        ``wall_clock_slos=False`` every field is sim-deterministic.
+        """
+        health = self.health.summary()
+        return {
+            "state": health["state"],
+            "violations": health["violations"],
+            "violations_by_slo": health["violations_by_slo"],
+            "transitions": health["transitions"],
+            "triggers": len(self.triggers),
+            "incidents": len(self.recorder.incidents),
         }
 
 

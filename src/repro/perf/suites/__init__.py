@@ -9,6 +9,7 @@ unit-suffixed, and no wall-clock reads (the runner owns timing).
 from repro.perf.suites import (  # noqa: F401
     drive,
     features,
+    fleet,
     imaging,
     ml,
     scan,

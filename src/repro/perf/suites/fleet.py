@@ -1,0 +1,63 @@
+"""Fleet benchmarks: drives/sec scaling against worker count.
+
+One seeded sweep, three executors — inline (the sequential reference),
+two workers, four workers.  All three time the *same* spec list with
+monitoring and latency histograms off, so the measurement is scheduler
+plus drive cost, and the group read side by side answers the subsystem's
+headline question: what does sharding buy over inline execution?
+"""
+
+from __future__ import annotations
+
+from repro.fleet.scheduler import FleetConfig, FleetScheduler
+from repro.fleet.specs import sweep_specs
+from repro.perf.registry import BenchContext, bench
+
+
+def _fleet_workload(ctx: BenchContext, workers: int):
+    count = 4 if ctx.smoke else 12
+    duration_s = 0.5 if ctx.smoke else 1.0
+    specs = sweep_specs(count, fleet_seed=13, duration_s=duration_s)
+    ctx.digest([spec.seed for spec in specs])
+    ctx.note("drives", count)
+    ctx.note("duration_s", duration_s)
+    ctx.note("workers", workers)
+    config = FleetConfig(workers=workers, monitored=False, record_latency=False)
+
+    def run():
+        scheduler = FleetScheduler(config)
+        scheduler.submit_all(specs)
+        outcomes = scheduler.run()
+        return sum(1 for o in outcomes if o.ok)
+
+    return run
+
+
+@bench(
+    "fleet_inline_ms",
+    group="fleet",
+    kind="macro",
+    summary="seeded sweep, sequential in-process reference executor",
+)
+def fleet_inline(ctx: BenchContext):
+    return _fleet_workload(ctx, workers=0)
+
+
+@bench(
+    "fleet_workers2_ms",
+    group="fleet",
+    kind="macro",
+    summary="same sweep sharded across 2 worker processes",
+)
+def fleet_workers2(ctx: BenchContext):
+    return _fleet_workload(ctx, workers=2)
+
+
+@bench(
+    "fleet_workers4_ms",
+    group="fleet",
+    kind="macro",
+    summary="same sweep sharded across 4 worker processes",
+)
+def fleet_workers4(ctx: BenchContext):
+    return _fleet_workload(ctx, workers=4)

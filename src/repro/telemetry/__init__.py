@@ -40,6 +40,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     Stopwatch,
+    merge_snapshots,
     snapshot_values,
     throughput_mbs,
 )
@@ -71,6 +72,7 @@ __all__ = [
     "export_text",
     "filter_spans",
     "load_dump",
+    "merge_snapshots",
     "render_report",
     "snapshot_values",
     "summarize_file",

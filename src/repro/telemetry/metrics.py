@@ -81,6 +81,11 @@ class Counter:
             raise ConfigurationError(f"counter {self.name}: cannot decrease (by {amount})")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another series of the same counter in: counts add."""
+        _check_mergeable(self, other)
+        self.value += other.value
+
     def to_dict(self) -> dict:
         return {"kind": self.kind, "name": self.name, "labels": self.labels, "value": self.value}
 
@@ -103,6 +108,16 @@ class Gauge:
 
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another series of the same gauge in: last writer wins.
+
+        A gauge is a point-in-time value, so there is no meaningful sum;
+        the merged series reports the incoming value.  Last-writer-wins is
+        associative, which the fold-order tests rely on.
+        """
+        _check_mergeable(self, other)
+        self.value = other.value
 
     def to_dict(self) -> dict:
         return {"kind": self.kind, "name": self.name, "labels": self.labels, "value": self.value}
@@ -147,6 +162,30 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram of the same series in, bucket by bucket.
+
+        Both series must share bucket bounds (they always do when built
+        from the same instrumentation site — bounds are fixed at creation
+        precisely so merging never re-bins).  Counts and sums add; min/max
+        fold; no observation is ever double-counted because the fold is a
+        plain element-wise sum.
+        """
+        _check_mergeable(self, other)
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                f"histogram {self.name}: cannot merge differing bounds "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
 
     def percentile(self, q: float) -> float | None:
         """Estimate the ``q``-th percentile (0..100) from the fixed buckets.
@@ -250,9 +289,95 @@ class MetricsRegistry:
                 return series.value
         return None
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry into this one, series by series.
+
+        Per-worker registries fold into a fleet-level registry without
+        double-counting: counters add, histograms add bucket-wise, gauges
+        take the incoming value.  Series missing on either side are simply
+        carried over.  The fold is associative (the merge unit tests pin
+        this), so workers can be merged in any grouping.  Returns ``self``
+        for chaining.
+        """
+        for key, series in other._series.items():
+            mine = self._series.get(key)
+            if mine is None:
+                kind, name, _ = key
+                if kind == "histogram":
+                    mine = Histogram(name, series.labels, series.bounds)
+                elif kind == "counter":
+                    mine = Counter(name, series.labels)
+                else:
+                    mine = Gauge(name, series.labels)
+                self._series[key] = mine
+            mine.merge(series)
+        return self
+
 
 def _as_str(labels: Mapping[str, Any]) -> dict[str, str]:
     return {str(k): str(v) for k, v in labels.items()}
+
+
+def _check_mergeable(mine: Any, other: Any) -> None:
+    if mine.kind != other.kind or mine.name != other.name:
+        raise ConfigurationError(
+            f"cannot merge {other.kind} {other.name!r} into {mine.kind} {mine.name!r}"
+        )
+
+
+def _snapshot_key(series: Mapping) -> tuple:
+    return (series["kind"], series["name"], _label_key(series.get("labels", {})))
+
+
+def _series_from_dict(series: Mapping) -> Any:
+    """Rebuild a live series object from one snapshot dict."""
+    kind, name, labels = series["kind"], series["name"], dict(series.get("labels", {}))
+    if kind == "counter":
+        out: Any = Counter(name, labels)
+        out.value = float(series.get("value", 0.0))
+    elif kind == "gauge":
+        out = Gauge(name, labels)
+        out.value = float(series.get("value", 0.0))
+    elif kind == "histogram":
+        out = Histogram(name, labels, series["bounds"])
+        counts = list(series.get("bucket_counts", []))
+        if len(counts) != len(out.bucket_counts):
+            raise ConfigurationError(
+                f"histogram {name}: snapshot has {len(counts)} bucket counts, "
+                f"bounds imply {len(out.bucket_counts)}"
+            )
+        out.bucket_counts = [int(n) for n in counts]
+        out.count = int(series.get("count", 0))
+        out.sum = float(series.get("sum", 0.0))
+        out.min = series.get("min")
+        out.max = series.get("max")
+    else:
+        raise ConfigurationError(f"unknown metric kind {kind!r} in snapshot")
+    return out
+
+
+def merge_snapshots(*snapshots: Iterable[Mapping]) -> list[dict]:
+    """Fold exported metric snapshots (plain dicts) into one snapshot.
+
+    This is the cross-process twin of :meth:`MetricsRegistry.merge`: fleet
+    workers ship :meth:`MetricsRegistry.snapshot` output (or a reloaded
+    JSONL dump's ``metrics`` list) across process boundaries as plain
+    data, and the aggregator folds them here without ever rebuilding the
+    original sessions.  Same semantics — counters add, histograms add
+    bucket-wise (bounds must agree), gauges last-writer-win — and the
+    same associativity guarantee.  Series order follows first appearance.
+    """
+    merged: dict[tuple, Any] = {}
+    for snapshot in snapshots:
+        for series in snapshot:
+            key = _snapshot_key(series)
+            incoming = _series_from_dict(series)
+            mine = merged.get(key)
+            if mine is None:
+                merged[key] = incoming
+            else:
+                mine.merge(incoming)
+    return [series.to_dict() for series in merged.values()]
 
 
 def snapshot_values(snapshot: Iterable[Mapping]) -> dict[str, dict[tuple, float]]:

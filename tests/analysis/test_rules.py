@@ -407,3 +407,36 @@ class TestBatchedHotPath:
             "    return model.decision_values(w)\n"
         )
         assert only(src, "batched-hot-path", module=self.PIPELINE) == []
+
+
+class TestFleetEventVocabulary:
+    def test_fires_on_unknown_kind(self):
+        src = "scheduler.fleet_event('fleet.party')\n"
+        assert only(src, "fleet-event-vocabulary") == ["fleet-event-vocabulary"]
+
+    def test_quiet_on_declared_kinds(self):
+        src = (
+            "scheduler.fleet_event('fleet.run.start', drives=4)\n"
+            "scheduler.fleet_event('fleet.submit', index=0)\n"
+            "scheduler.fleet_event('fleet.worker.crash', worker=1)\n"
+            "scheduler.fleet_event('fleet.rollup.write')\n"
+        )
+        assert only(src, "fleet-event-vocabulary") == []
+
+    def test_fires_on_non_literal_kind(self):
+        src = "scheduler.fleet_event(kind_var)\n"
+        assert only(src, "fleet-event-vocabulary") == ["fleet-event-vocabulary"]
+
+    def test_kind_keyword_is_checked_too(self):
+        assert only("s.fleet_event(kind='fleet.reject')\n", "fleet-event-vocabulary") == []
+        assert only("s.fleet_event(kind='fleet.nope')\n", "fleet-event-vocabulary") == [
+            "fleet-event-vocabulary"
+        ]
+
+    def test_applies_outside_sim_domains(self):
+        # The fleet package itself is outside the sim fence; the
+        # vocabulary contract still holds everywhere.
+        src = "scheduler.fleet_event('fleet.party')\n"
+        assert only(src, "fleet-event-vocabulary", module=NON_SIM_MODULE) == [
+            "fleet-event-vocabulary"
+        ]

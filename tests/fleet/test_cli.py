@@ -1,0 +1,63 @@
+"""The ``python -m repro fleet`` surface: run, report, smoke."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.cli import main as fleet_main
+from repro.fleet.rollup import load_rollup
+
+pytestmark = pytest.mark.fleet
+
+
+class TestRun:
+    def test_run_writes_a_valid_rollup(self, tmp_path, capsys):
+        out = tmp_path / "FLEET_test.json"
+        code = fleet_main(
+            [
+                "run",
+                "--count", "4",
+                "--workers", "2",
+                "--duration", "1.0",
+                "--seed", "3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        rollup = load_rollup(out)
+        assert rollup["fleet"]["by_status"] == {"ok": 4}
+        assert rollup["config"]["workers"] == 2
+        stdout = capsys.readouterr().out
+        assert "fleet rollup" in stdout
+        assert str(out) in stdout
+
+    def test_inline_run_and_report(self, tmp_path, capsys):
+        out = tmp_path / "FLEET_inline.json"
+        assert fleet_main(
+            ["run", "--count", "2", "--workers", "0", "--duration", "1.0",
+             "--out", str(out), "--no-monitor", "--no-latency"]
+        ) == 0
+        capsys.readouterr()
+        assert fleet_main(["report", str(out)]) == 0
+        assert "drives: 2" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_missing_rollup_is_a_usage_error(self, tmp_path):
+        assert fleet_main(["report", str(tmp_path / "FLEET_none.json")]) == 2
+
+
+class TestSmoke:
+    def test_smoke_passes_and_verifies_digests(self, capsys):
+        assert fleet_main(["smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet smoke ok" in out
+        assert "digests verified inline" in out
+
+
+class TestUsage:
+    def test_no_subcommand_is_a_usage_error(self):
+        assert fleet_main([]) == 2
+
+    def test_unknown_subcommand_is_a_usage_error(self):
+        assert fleet_main(["launch"]) == 2

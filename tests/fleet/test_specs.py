@@ -1,0 +1,56 @@
+"""Seeded sweep generation: round-robin traces, stable derived seeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import TRACE_FACTORIES, derive_drive_seed
+from repro.errors import FleetError
+from repro.fleet.specs import DEFAULT_SCENARIO_ROTATION, sweep_specs
+
+pytestmark = pytest.mark.fleet
+
+
+class TestSweepSpecs:
+    def test_count_and_names(self):
+        specs = sweep_specs(6, fleet_seed=1, duration_s=2.0)
+        assert len(specs) == 6
+        assert [s.name for s in specs] == [f"drive-{i:04d}" for i in range(6)]
+
+    def test_traces_round_robin_over_all_factories(self):
+        specs = sweep_specs(2 * len(TRACE_FACTORIES), duration_s=2.0)
+        assert {s.trace for s in specs} == set(TRACE_FACTORIES)
+
+    def test_seeds_are_derived_and_distinct(self):
+        specs = sweep_specs(16, fleet_seed=3, duration_s=2.0)
+        assert len({s.seed for s in specs}) == 16
+        assert specs[5].seed == derive_drive_seed(3, 5)
+
+    def test_growing_the_fleet_never_reseeds_existing_drives(self):
+        small = sweep_specs(8, fleet_seed=3, duration_s=2.0)
+        large = sweep_specs(12, fleet_seed=3, duration_s=2.0)
+        assert large[:8] == small
+
+    def test_scenario_rotation_includes_clean_and_faulted_drives(self):
+        specs = sweep_specs(len(DEFAULT_SCENARIO_ROTATION), duration_s=2.0)
+        scenarios = [s.fault_scenario for s in specs]
+        assert None in scenarios
+        assert "flaky_dma" in scenarios
+
+    def test_explicit_traces_and_scenarios(self):
+        specs = sweep_specs(
+            4, duration_s=2.0, traces=("tunnel",), fault_scenarios=(None,)
+        )
+        assert all(s.trace == "tunnel" and s.fault_scenario is None for s in specs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"count": 0},
+            {"count": 4, "duration_s": 0.0},
+            {"count": 4, "traces": ()},
+        ],
+    )
+    def test_bad_sweeps_rejected(self, kwargs):
+        with pytest.raises(FleetError):
+            sweep_specs(**kwargs)

@@ -1,0 +1,121 @@
+"""The drive-execution unit: outcomes, containment, determinism filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import DriveSpec
+from repro.errors import FleetError
+from repro.fleet.outcome import (
+    WALL_METRIC_NAMES,
+    WALL_OUTCOME_FIELDS,
+    DriveOutcome,
+    deterministic_metrics,
+    deterministic_outcome_dict,
+)
+from repro.fleet.worker import execute_spec
+
+pytestmark = pytest.mark.fleet
+
+
+@pytest.fixture(scope="module")
+def ok_outcome() -> DriveOutcome:
+    """One fully observed drive, shared by the read-only assertions."""
+    return execute_spec(DriveSpec(name="unit", duration_s=2.0, seed=4))
+
+
+class TestExecuteSpec:
+    def test_status_and_digest(self, ok_outcome):
+        assert ok_outcome.ok
+        assert ok_outcome.status == "ok"
+        assert len(ok_outcome.frames_digest) == 64  # sha256 hex
+
+    def test_summary_covers_the_whole_drive(self, ok_outcome):
+        assert ok_outcome.summary["frames"] == 100  # 2 s at 50 fps
+
+    def test_verdict_and_latency_present_when_observed(self, ok_outcome):
+        assert ok_outcome.verdict["state"] in ("ok", "degraded", "critical")
+        assert ok_outcome.latency_ms["count"] == 100
+        assert any(s["name"] == "drive_frames" for s in ok_outcome.metrics)
+        assert ok_outcome.wall_s > 0
+
+    def test_accepts_spec_dicts(self, ok_outcome):
+        spec = DriveSpec(name="unit", duration_s=2.0, seed=4)
+        again = execute_spec(spec.to_dict())
+        assert again.frames_digest == ok_outcome.frames_digest
+
+    def test_unmonitored_drive_has_no_verdict(self):
+        outcome = execute_spec(
+            DriveSpec(duration_s=1.0), monitored=False, record_latency=False
+        )
+        assert outcome.ok
+        assert outcome.verdict == {}
+        assert outcome.latency_ms is None
+        assert outcome.metrics == []
+
+    def test_observation_never_changes_the_digest(self):
+        spec = DriveSpec(duration_s=2.0, seed=8, fault_scenario="flaky_dma")
+        observed = execute_spec(spec)
+        bare = execute_spec(spec, monitored=False, record_latency=False)
+        assert observed.frames_digest == bare.frames_digest
+
+    def test_drive_exceptions_become_failed_outcomes(self, monkeypatch):
+        import repro.core.system as system
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("detector fell over")
+
+        monkeypatch.setattr(system, "run_drive_spec", boom)
+        outcome = execute_spec(DriveSpec(duration_s=1.0))
+        assert outcome.status == "failed"
+        assert "detector fell over" in outcome.error
+
+    def test_incident_bundles_are_harvested(self, tmp_path):
+        outcome = execute_spec(
+            DriveSpec(name="faulty", duration_s=4.0, fault_scenario="worst_case"),
+            incidents_dir=tmp_path,
+        )
+        assert outcome.ok
+        assert outcome.verdict["incidents"] == len(outcome.incidents)
+        for path in outcome.incidents:
+            assert str(tmp_path) in path
+
+
+class TestChaosContainment:
+    def test_contained_crash_becomes_a_crashed_outcome(self):
+        outcome = execute_spec(DriveSpec(duration_s=1.0, chaos="crash"))
+        assert outcome.status == "crashed"
+        assert "chaos" in outcome.error
+        assert outcome.frames_digest is None
+
+    def test_contained_hang_becomes_a_timeout_outcome(self):
+        outcome = execute_spec(DriveSpec(duration_s=1.0, chaos="hang"))
+        assert outcome.status == "timeout"
+        assert "chaos" in outcome.error
+
+
+class TestOutcomeWire:
+    def test_round_trip(self, ok_outcome):
+        assert DriveOutcome.from_dict(ok_outcome.to_dict()).to_dict() == ok_outcome.to_dict()
+
+    def test_unknown_fields_rejected(self, ok_outcome):
+        data = ok_outcome.to_dict()
+        data["surprise"] = 1
+        with pytest.raises(FleetError, match="surprise"):
+            DriveOutcome.from_dict(data)
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(FleetError, match="status"):
+            DriveOutcome(spec={}, status="winning")
+
+    def test_deterministic_dict_strips_wall_fields(self, ok_outcome):
+        data = deterministic_outcome_dict(ok_outcome)
+        for field in WALL_OUTCOME_FIELDS:
+            assert field not in data
+        names = {s["name"] for s in data["metrics"]}
+        assert not names & WALL_METRIC_NAMES
+        assert "drive_frames" in names
+
+    def test_deterministic_metrics_filter(self):
+        series = [{"name": "frame_wall_ms"}, {"name": "drive_frames"}]
+        assert deterministic_metrics(series) == [{"name": "drive_frames"}]

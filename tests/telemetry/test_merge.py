@@ -1,0 +1,140 @@
+"""Cross-process metric merging: registries, series, and plain snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots, snapshot_values
+
+pytestmark = pytest.mark.telemetry
+
+BOUNDS = (1.0, 5.0, 10.0)
+
+
+def make_registry(frames: int, wall_ms: float, gauge: float) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("drive_frames").inc(frames)
+    for _ in range(frames):
+        registry.histogram("frame_wall_ms", bounds=BOUNDS).observe(wall_ms)
+    registry.gauge("queue_depth").set(gauge)
+    return registry
+
+
+class TestSeriesMerge:
+    def test_counters_add(self):
+        a, b = make_registry(3, 0.5, 1.0), make_registry(4, 0.5, 2.0)
+        a.merge(b)
+        assert a.value("drive_frames") == 7
+
+    def test_gauges_last_writer_wins(self):
+        a, b = make_registry(1, 0.5, 1.0), make_registry(1, 0.5, 9.0)
+        a.merge(b)
+        assert a.value("queue_depth") == 9.0
+
+    def test_histograms_add_bucket_wise(self):
+        a, b = make_registry(3, 0.5, 0.0), make_registry(2, 7.0, 0.0)
+        a.merge(b)
+        hist = a.histogram("frame_wall_ms", bounds=BOUNDS)
+        assert hist.count == 5
+        assert hist.min == 0.5 and hist.max == 7.0
+        assert hist.bucket_counts == [3, 0, 2, 0]
+
+    def test_histogram_bounds_must_agree(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 3.0)).observe(0.5)
+        with pytest.raises(ConfigurationError, match="bounds"):
+            a.merge(b)
+
+    def test_missing_series_carry_over(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only_in_b").inc(2)
+        a.merge(b)
+        assert a.value("only_in_b") == 2
+        # ... without aliasing the source registry's series.
+        b.counter("only_in_b").inc(10)
+        assert a.value("only_in_b") == 2
+
+    def test_labels_separate_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("faults", source="dma").inc()
+        b.counter("faults", source="sensor").inc(3)
+        a.merge(b)
+        assert a.value("faults", source="dma") == 1
+        assert a.value("faults", source="sensor") == 3
+
+
+class TestAssociativity:
+    def test_registry_merge_is_associative(self):
+        a = make_registry(2, 0.5, 1.0)
+        b = make_registry(3, 3.0, 2.0)
+        c = make_registry(5, 8.0, 3.0)
+        left = snap_registry(snap_registry(a, b), c).snapshot()
+        right = snap_registry(a, snap_registry(b, c)).snapshot()
+        assert left == right
+
+    def test_snapshot_merge_is_associative(self):
+        a = make_registry(2, 0.5, 1.0).snapshot()
+        b = make_registry(3, 3.0, 2.0).snapshot()
+        c = make_registry(5, 8.0, 3.0).snapshot()
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    def test_snapshot_merge_matches_registry_merge(self):
+        a = make_registry(2, 0.5, 1.0)
+        b = make_registry(3, 3.0, 2.0)
+        via_snapshots = merge_snapshots(a.snapshot(), b.snapshot())
+        assert via_snapshots == a.merge(b).snapshot()
+
+
+def snap_registry(*registries: MetricsRegistry) -> MetricsRegistry:
+    target = MetricsRegistry()
+    for registry in registries:
+        target.merge(registry)
+    return target
+
+
+class TestMergeSnapshots:
+    def test_empty_input_is_empty(self):
+        assert merge_snapshots() == []
+        assert merge_snapshots([], []) == []
+
+    def test_counts_and_values_fold(self):
+        merged = merge_snapshots(
+            make_registry(2, 0.5, 1.0).snapshot(),
+            make_registry(3, 7.0, 4.0).snapshot(),
+        )
+        values = snapshot_values(merged)
+        assert values["drive_frames"][()] == 5
+        assert values["queue_depth"][()] == 4.0
+        hist = next(s for s in merged if s["kind"] == "histogram")
+        assert hist["count"] == 5
+        assert "percentiles" in hist
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown metric kind"):
+            merge_snapshots([{"kind": "summary", "name": "x", "labels": {}}])
+
+    def test_bucket_count_shape_checked(self):
+        broken = [
+            {
+                "kind": "histogram",
+                "name": "h",
+                "labels": {},
+                "bounds": [1.0, 2.0],
+                "bucket_counts": [1],
+            }
+        ]
+        with pytest.raises(ConfigurationError, match="bucket counts"):
+            merge_snapshots(broken)
+
+    def test_first_appearance_order_is_kept(self):
+        a = MetricsRegistry()
+        a.counter("first").inc()
+        b = MetricsRegistry()
+        b.counter("second").inc()
+        b.counter("first").inc()
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert [s["name"] for s in merged] == ["first", "second"]
