@@ -29,8 +29,9 @@ else
     echo "== mypy not installed; skipping (pip install -e .[lint])"
 fi
 
-echo "== repro lint (determinism / units / telemetry hygiene)"
-PYTHONPATH=src python -m repro lint src || status=1
+echo "== repro lint (whole-program pass, gated on LINT_BASELINE.json; SARIF artifact: lint.sarif)"
+PYTHONPATH=src python -m repro lint src --jobs 4 \
+    --compare-baseline LINT_BASELINE.json --sarif-out lint.sarif || status=1
 
 echo "== repro bench --smoke (perf harness sanity; no snapshot written)"
 PYTHONPATH=src python -m repro bench --smoke >/dev/null || status=1

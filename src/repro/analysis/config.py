@@ -32,6 +32,20 @@ def _default_fleet_vocabulary() -> frozenset[str]:
     return FLEET_EVENT_KINDS
 
 
+def _default_wall_strip_keys() -> frozenset[str]:
+    # Single source of truth: the strip lists next to the deterministic
+    # views themselves — a wall value stored under one of these keys is
+    # removed before any byte-compared artefact is built.
+    from repro.fleet.outcome import WALL_METRIC_NAMES, WALL_OUTCOME_FIELDS
+    from repro.fleet.rollup import WALL_ROLLUP_KEYS
+
+    return (
+        frozenset(WALL_METRIC_NAMES)
+        | frozenset(WALL_OUTCOME_FIELDS)
+        | frozenset(WALL_ROLLUP_KEYS)
+    )
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Repository-specific knobs consumed by the rules.
@@ -60,6 +74,19 @@ class LintConfig:
             through the batched entry points; per-window ``predict`` /
             ``decision`` calls inside loops are flagged there unless the
             enclosing function is a ``*_reference`` branch.
+        deterministic_sinks: Function names whose arguments must be free
+            of wall-clock/entropy taint (the byte-compared artefacts).
+        wall_strip_keys: Dict keys / keyword names the deterministic
+            views strip; storing a wall value under one launders it.
+        fork_packages: Packages running under the fork-based worker pool;
+            the fork-safety rules apply there.
+        fork_worker_modules: Modules whose functions execute inside
+            forked children (module-level mutable state diverges there).
+        fork_payload_types: Constructors whose instances cross the fork
+            boundary and therefore must stay picklable.
+        fork_unpicklable_constructors: Constructors producing objects that
+            must never be captured into a fork payload (tracers, monitors,
+            locks, threads, open handles).
         select: When non-empty, only these rule ids run.
         ignore: Rule ids to skip.
     """
@@ -98,6 +125,37 @@ class LintConfig:
     span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
     bench_suite_packages: tuple[str, ...] = ("repro.perf.suites",)
     hot_path_packages: tuple[str, ...] = ("repro.pipelines", "repro.core")
+    deterministic_sinks: frozenset[str] = frozenset(
+        {
+            "deterministic_view",
+            "deterministic_outcome_dict",
+            "deterministic_metrics",
+            "frame_core_dict",
+            "frame_core_bytes",
+            "frames_digest",
+        }
+    )
+    wall_strip_keys: frozenset[str] = field(default_factory=_default_wall_strip_keys)
+    fork_packages: tuple[str, ...] = ("repro.fleet",)
+    fork_worker_modules: tuple[str, ...] = ("repro.fleet.worker",)
+    fork_payload_types: frozenset[str] = frozenset({"DriveSpec"})
+    fork_unpicklable_constructors: frozenset[str] = frozenset(
+        {
+            "Tracer",
+            "JsonlTracer",
+            "ChromeTracer",
+            "Monitor",
+            "HealthMonitor",
+            "FlightRecorder",
+            "Lock",
+            "RLock",
+            "Condition",
+            "Semaphore",
+            "BoundedSemaphore",
+            "Event",
+            "Thread",
+        }
+    )
     select: tuple[str, ...] = ()
     ignore: tuple[str, ...] = ()
 
@@ -150,6 +208,17 @@ class LintConfig:
             module == pkg or module.startswith(pkg + ".")
             for pkg in self.span_exempt_modules
         )
+
+    def in_fork_package(self, module: str) -> bool:
+        """True when ``module`` runs under the fork-based worker pool."""
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.fork_packages
+        )
+
+    def is_fork_worker_module(self, module: str) -> bool:
+        """True when ``module``'s functions execute inside forked children."""
+        return module in self.fork_worker_modules
 
 
 DEFAULT_CONFIG = LintConfig()

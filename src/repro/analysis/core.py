@@ -1,31 +1,41 @@
 """reprolint framework: violations, the rule registry, and the driver.
 
-A rule is a class with an ``id``, a one-line ``summary``, and a
-``check(module)`` generator over :class:`Violation`.  Rules register
-themselves with the :func:`register` decorator at import time; the driver
-parses each file once and hands every enabled rule the same
-:class:`ModuleContext`.
+A rule is a class with an ``id``, a ``family``, a one-line ``summary``,
+and a ``check(module)`` generator over :class:`Violation`.  Rules register
+themselves with the :func:`register` decorator at import time.  The driver
+parses every file once, builds a single whole-program
+:class:`~repro.analysis.project.ProjectContext` (import graph, symbol
+table, call edges, taint summaries), and hands every enabled rule one
+:class:`ModuleContext` per file with the project attached — so rules can
+reason across file boundaries, not just within one AST.
 
 Suppressions are noqa-style comments tied to the violation's line::
 
     x = wall_clock()            # reprolint: skip
     y = wall_clock()            # reprolint: skip=determinism-clock
-    # reprolint: skip-file          (first 10 lines: whole file)
-    # reprolint: skip-file=unit-suffix,public-api
 
-A blanket ``skip`` silences every rule on that line; a ``skip=`` list
-silences only the named rules.
+plus a whole-file form, honoured only within the first
+``_SKIP_FILE_SCAN_LINES`` lines: ``reprolint: skip-file`` or
+``reprolint: skip-file=unit-suffix,public-api`` as a comment near the top
+of the file.  A blanket ``skip`` silences every rule on that line; a
+``skip=`` list silences only the named rules.  Pragmas are read from real
+comment tokens — pragma-shaped text inside string literals (like the
+examples above) is ignored.  The ``suppression-hygiene`` rule reports
+pragmas that name unknown rules or place ``skip-file`` too late to work.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.project import ParsedModule, ProjectContext, parse_module
 from repro.errors import ConfigurationError
 
 _PRAGMA = re.compile(r"#\s*reprolint:\s*(skip-file|skip)(?:=([\w,-]+))?")
@@ -55,6 +65,47 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule_id}] {self.message}"
 
 
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# reprolint:`` comment, as found by the tokenizer."""
+
+    line: int
+    col: int
+    kind: str  # "skip" | "skip-file"
+    rules: tuple[str, ...]  # empty tuple = blanket (all rules)
+
+
+def scan_pragmas(source: str) -> list[Pragma]:
+    """Every ``# reprolint:`` pragma in real comment tokens.
+
+    Tokenizing (rather than regex-scanning raw lines) means pragma-shaped
+    text inside docstrings and string literals never creates a phantom
+    suppression.  Falls back to the line scan only if tokenization fails.
+    """
+    pragmas: list[Pragma] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            kind, names = match.groups()
+            rules = tuple(n for n in names.split(",") if n) if names else ()
+            pragmas.append(
+                Pragma(line=tok.start[0], col=tok.start[1] + 1, kind=kind, rules=rules)
+            )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            kind, names = match.groups()
+            rules = tuple(n for n in names.split(",") if n) if names else ()
+            pragmas.append(Pragma(line=lineno, col=match.start() + 1, kind=kind, rules=rules))
+    return pragmas
+
+
 @dataclass
 class _Suppressions:
     """Parsed pragma comments for one file."""
@@ -71,20 +122,22 @@ class _Suppressions:
         return "*" in rules or violation.rule_id in rules
 
 
-def _parse_suppressions(source_lines: list[str]) -> _Suppressions:
+def _suppressions_from_pragmas(pragmas: Iterable[Pragma]) -> _Suppressions:
     sup = _Suppressions()
-    for lineno, text in enumerate(source_lines, start=1):
-        match = _PRAGMA.search(text)
-        if match is None:
-            continue
-        kind, names = match.groups()
-        rules = set(names.split(",")) if names else {"*"}
-        if kind == "skip-file":
-            if lineno <= _SKIP_FILE_SCAN_LINES:
+    for pragma in pragmas:
+        rules = set(pragma.rules) if pragma.rules else {"*"}
+        if pragma.kind == "skip-file":
+            # Late skip-file pragmas are inert; suppression-hygiene flags them.
+            if pragma.line <= _SKIP_FILE_SCAN_LINES:
                 sup.file_wide |= rules
         else:
-            sup.by_line.setdefault(lineno, set()).update(rules)
+            sup.by_line.setdefault(pragma.line, set()).update(rules)
     return sup
+
+
+def _parse_suppressions(source_lines: list[str]) -> _Suppressions:
+    """Back-compat helper used by older tests; prefers the token scan."""
+    return _suppressions_from_pragmas(scan_pragmas("\n".join(source_lines)))
 
 
 @dataclass
@@ -96,6 +149,8 @@ class ModuleContext:
     tree: ast.Module
     source_lines: list[str]
     config: LintConfig
+    project: ProjectContext | None = None
+    pragmas: list[Pragma] = field(default_factory=list)
 
     _parents: dict[ast.AST, ast.AST] = field(default_factory=dict, repr=False)
 
@@ -107,11 +162,20 @@ class ModuleContext:
                     self._parents[child] = parent
         return self._parents.get(node)
 
+    @property
+    def summary(self):
+        """This module's slice of the project symbol table (or ``None``)."""
+        if self.project is None:
+            return None
+        return self.project.summaries.get(self.module)
+
 
 class Rule:
-    """Base class: subclasses override ``id``, ``summary``, ``check``."""
+    """Base class: subclasses override ``id``, ``family``, ``summary``,
+    ``check``."""
 
     id: str = ""
+    family: str = "general"
     summary: str = ""
 
     def check(self, module: ModuleContext) -> Iterator[Violation]:
@@ -181,6 +245,137 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts) or path.stem
 
 
+def _syntax_error_violation(exc: SyntaxError, path: str) -> Violation:
+    return Violation(
+        rule_id="syntax-error",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        message=f"cannot parse: {exc.msg}",
+    )
+
+
+def _check_module(
+    parsed: ParsedModule,
+    source: str,
+    config: LintConfig,
+    project: ProjectContext,
+) -> list[Violation]:
+    """Run every enabled rule over one parsed module."""
+    ctx = ModuleContext(
+        path=parsed.path,
+        module=parsed.module,
+        tree=parsed.tree,
+        source_lines=parsed.source_lines,
+        config=config,
+        project=project,
+        pragmas=scan_pragmas(source),
+    )
+    suppressions = _suppressions_from_pragmas(ctx.pragmas)
+    found: list[Violation] = []
+    for rule in all_rules():
+        if not config.rule_enabled(rule.id):
+            continue
+        for violation in rule.check(ctx):
+            if not suppressions.suppressed(violation):
+                found.append(violation)
+    return found
+
+
+# Worker-side state for --jobs: populated before the fork so children
+# inherit the parsed project copy-on-write instead of pickling it per task.
+_FORK_STATE: dict = {}
+
+
+def _check_module_forked(module_name: str) -> list[Violation]:
+    parsed = _FORK_STATE["project"].modules[module_name]
+    return _check_module(
+        parsed,
+        _FORK_STATE["sources"][module_name],
+        _FORK_STATE["config"],
+        _FORK_STATE["project"],
+    )
+
+
+def analyze_sources(
+    items: Sequence[tuple[str, str, str]],
+    config: LintConfig | None = None,
+    *,
+    jobs: int = 1,
+) -> list[Violation]:
+    """Whole-program analysis over ``(path, module, source)`` triples.
+
+    Every module is parsed first; one :class:`ProjectContext` is built
+    over all of them; then per-module rules run (in parallel when
+    ``jobs > 1`` and the platform supports fork).  Unparseable files
+    yield a ``syntax-error`` pseudo-violation and are left out of the
+    project graph.
+    """
+    cfg = config or DEFAULT_CONFIG
+    violations: list[Violation] = []
+    parsed_modules: list[ParsedModule] = []
+    sources: dict[str, str] = {}
+    for path, module, source in items:
+        try:
+            parsed = parse_module(source, module=module, path=path)
+        except SyntaxError as exc:
+            violations.append(_syntax_error_violation(exc, path))
+            continue
+        if parsed.module in sources:
+            # Same dotted name twice (scratch trees): keep the first for
+            # the graph, still lint the second standalone below.
+            solo = ProjectContext([parsed], wall_strip_keys=cfg.wall_strip_keys)
+            violations.extend(_check_module(parsed, source, cfg, solo))
+            continue
+        parsed_modules.append(parsed)
+        sources[parsed.module] = source
+
+    _load_rules()
+    project = ProjectContext(parsed_modules, wall_strip_keys=cfg.wall_strip_keys)
+
+    if jobs > 1 and len(parsed_modules) > 1:
+        chunks = _run_parallel(parsed_modules, sources, cfg, project, jobs)
+    else:
+        chunks = [
+            _check_module(pm, sources[pm.module], cfg, project)
+            for pm in parsed_modules
+        ]
+    for chunk in chunks:
+        violations.extend(chunk)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations
+
+
+def _run_parallel(
+    parsed_modules: list[ParsedModule],
+    sources: dict[str, str],
+    config: LintConfig,
+    project: ProjectContext,
+    jobs: int,
+) -> list[list[Violation]]:
+    import multiprocessing
+
+    try:
+        mp = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork: run serial
+        return [
+            _check_module(pm, sources[pm.module], config, project)
+            for pm in parsed_modules
+        ]
+    _FORK_STATE["project"] = project
+    _FORK_STATE["sources"] = sources
+    _FORK_STATE["config"] = config
+    try:
+        with mp.Pool(processes=jobs) as pool:
+            return pool.map(
+                _check_module_forked,
+                [pm.module for pm in parsed_modules],
+                chunksize=max(1, len(parsed_modules) // (jobs * 4) or 1),
+            )
+    finally:
+        _FORK_STATE.clear()
+
+
 def analyze_source(
     source: str,
     *,
@@ -188,37 +383,13 @@ def analyze_source(
     path: str = "<string>",
     config: LintConfig | None = None,
 ) -> list[Violation]:
-    """Run every enabled rule over one source string."""
-    cfg = config or DEFAULT_CONFIG
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                rule_id="syntax-error",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"cannot parse: {exc.msg}",
-            )
-        ]
-    ctx = ModuleContext(
-        path=path,
-        module=module,
-        tree=tree,
-        source_lines=source.splitlines(),
-        config=cfg,
-    )
-    suppressions = _parse_suppressions(ctx.source_lines)
-    found: list[Violation] = []
-    for rule in all_rules():
-        if not cfg.rule_enabled(rule.id):
-            continue
-        for violation in rule.check(ctx):
-            if not suppressions.suppressed(violation):
-                found.append(violation)
-    found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    return found
+    """Run every enabled rule over one source string.
+
+    The single module forms a one-module project, so project-backed rules
+    still work (intra-module) — multi-module behaviour needs
+    :func:`analyze_sources`.
+    """
+    return analyze_sources([(path, module, source)], config)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -239,17 +410,14 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
 
 
 def analyze_paths(
-    paths: Iterable[str | Path], config: LintConfig | None = None
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+    *,
+    jobs: int = 1,
 ) -> list[Violation]:
-    """Run the analyzer over files/directories; returns sorted violations."""
-    found: list[Violation] = []
-    for path in iter_python_files(paths):
-        found.extend(
-            analyze_source(
-                path.read_text(encoding="utf-8"),
-                module=module_name_for(path),
-                path=str(path),
-                config=config,
-            )
-        )
-    return found
+    """Run the whole-program analyzer over files/directories."""
+    items = [
+        (str(path), module_name_for(path), path.read_text(encoding="utf-8"))
+        for path in iter_python_files(paths)
+    ]
+    return analyze_sources(items, config, jobs=jobs)

@@ -1,10 +1,10 @@
-"""Violation reporters: human-readable text and machine-readable JSON."""
+"""Violation reporters: human-readable text, JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
 
-from repro.analysis.core import Violation
+from repro.analysis.core import Violation, all_rules
 
 
 def render_text(violations: list[Violation], *, files_checked: int) -> str:
@@ -29,3 +29,63 @@ def render_json(violations: list[Violation], *, files_checked: int) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def render_sarif(violations: list[Violation], *, files_checked: int) -> str:
+    """SARIF 2.1.0 document (the interchange format CI annotators consume).
+
+    The driver advertises every registered rule (so SARIF viewers can
+    show the full catalog), plus a synthetic entry for any pseudo-rule
+    present in the results (``syntax-error``).
+    """
+    rules_meta = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": (rule.__doc__ or rule.summary).strip()},
+            "properties": {"family": rule.family},
+        }
+        for rule in all_rules()
+    ]
+    known = {meta["id"] for meta in rules_meta}
+    for rule_id in sorted({v.rule_id for v in violations} - known):
+        rules_meta.append(
+            {"id": rule_id, "shortDescription": {"text": rule_id}}
+        )
+    rule_index = {meta["id"]: i for i, meta in enumerate(rules_meta)}
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index[v.rule_id],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": v.path.replace("\\", "/")},
+                        "region": {"startLine": v.line, "startColumn": v.col},
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": "2.0.0",
+                        "informationUri": "ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+                "properties": {"filesChecked": files_checked},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

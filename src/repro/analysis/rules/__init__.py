@@ -3,11 +3,15 @@
 from repro.analysis.rules import (  # noqa: F401
     api,
     determinism,
+    exports,
     fleet,
+    forksafety,
     hotpath,
     monitor,
     perf,
+    pragma,
     robustness,
+    taint,
     telemetry,
     units,
 )

@@ -38,6 +38,7 @@ class PublicApiRule(Rule):
     """Public surface of the API packages is documented and typed."""
 
     id = "public-api"
+    family = "api"
     summary = (
         "public functions/classes/methods in repro.pipelines and repro.zynq "
         "need docstrings and complete type annotations"

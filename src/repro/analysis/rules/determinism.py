@@ -14,39 +14,13 @@ from typing import Iterator
 
 from repro.analysis.core import ModuleContext, Rule, Violation, register
 
-#: Host-clock calls that leak nondeterminism into a simulation.
-WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.process_time",
-        "time.process_time_ns",
-    }
+# Canonical definitions moved to the project pass (the taint engine needs
+# them too); re-exported here because these were this module's public names.
+from repro.analysis.project import (  # noqa: F401
+    WALL_CLOCK_CALLS,
+    WALL_CLOCK_SUFFIXES,
+    dotted_name,
 )
-
-#: ``datetime``-style constructors keyed by their trailing attribute pair.
-WALL_CLOCK_SUFFIXES = (
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.today",
-    "date.today",
-)
-
-
-def dotted_name(node: ast.expr) -> str | None:
-    """Render an attribute chain like ``np.random.default_rng`` to a string."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 @register
@@ -54,6 +28,7 @@ class WallClockRule(Rule):
     """Sim domains must not read the host clock directly."""
 
     id = "determinism-clock"
+    family = "determinism"
     summary = (
         "no wall-clock reads (time.time/perf_counter/datetime.now) in "
         "simulation packages; clocks arrive via telemetry injection"
@@ -85,6 +60,7 @@ class AdHocRngRule(Rule):
     """Sim domains construct RNGs only through repro.rng."""
 
     id = "determinism-rng"
+    family = "determinism"
     summary = (
         "no stdlib random or direct numpy RNG construction in simulation "
         "packages; use repro.rng helpers"

@@ -1,0 +1,108 @@
+"""Export hygiene and import-cycle rules (whole-program).
+
+``__all__`` is the contract a package publishes; a stale entry breaks
+``from pkg import *`` and misleads every reader.  Dead re-exports in
+``__init__.py`` keep modules import-coupled for no reason.  And a runtime
+import cycle is a load-order landmine: whichever module imports first
+sees a half-initialised peer.  All three need the project pass — a
+single-file linter cannot know what a sibling module actually defines.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+
+@register
+class ExportHygieneRule(Rule):
+    """``__all__`` must match reality; ``__init__`` re-exports must earn
+    their keep."""
+
+    id = "export-hygiene"
+    family = "exports"
+    summary = (
+        "__all__ entry with no matching definition, duplicate __all__ "
+        "entry, or dead __init__ re-export (neither exported nor used)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        summary = module.summary
+        if summary is None or summary.exports is None:
+            return
+        exported = {name for name, _ in summary.exports}
+        seen: set[str] = set()
+        for name, lineno in summary.exports:
+            if name in seen:
+                yield Violation(
+                    rule_id=self.id,
+                    path=module.path,
+                    line=lineno,
+                    col=1,
+                    message=f"duplicate __all__ entry {name!r}",
+                )
+            seen.add(name)
+            if name not in summary.defs:
+                yield Violation(
+                    rule_id=self.id,
+                    path=module.path,
+                    line=lineno,
+                    col=1,
+                    message=(
+                        f"__all__ exports {name!r} but the module defines "
+                        "no such name"
+                    ),
+                )
+        if not module.path.endswith("__init__.py"):
+            return
+        for name, (origin, lineno) in sorted(summary.from_imports.items()):
+            if name.startswith("_") or name in exported:
+                continue
+            if name in summary.used_names:
+                continue
+            yield Violation(
+                rule_id=self.id,
+                path=module.path,
+                line=lineno,
+                col=1,
+                message=(
+                    f"dead re-export: {name!r} (from {origin}) is neither "
+                    "listed in __all__ nor used in this package init"
+                ),
+            )
+
+
+@register
+class ImportCycleRule(Rule):
+    """No runtime import cycles between project modules."""
+
+    id = "import-cycle"
+    family = "exports"
+    summary = (
+        "runtime (non-TYPE_CHECKING) module-level import cycle between "
+        "project modules"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        project = module.project
+        if project is None:
+            return
+        for cycle in project.import_cycles():
+            # Each cycle is reported exactly once, by its smallest member.
+            if cycle[0] != module.module:
+                continue
+            successor = cycle[1] if len(cycle) > 1 else cycle[0]
+            lineno = project.import_graph.get(module.module, {}).get(successor, 1)
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield Violation(
+                rule_id=self.id,
+                path=module.path,
+                line=lineno,
+                col=1,
+                message=(
+                    f"runtime import cycle: {chain}; break it with a "
+                    "function-local or TYPE_CHECKING import"
+                ),
+            )

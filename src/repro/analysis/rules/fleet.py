@@ -20,6 +20,7 @@ class FleetEventVocabularyRule(Rule):
     """``FleetScheduler.fleet_event`` kinds come from the declared vocabulary."""
 
     id = "fleet-event-vocabulary"
+    family = "telemetry"
     summary = (
         "FleetScheduler.fleet_event kinds must be string literals from the "
         "declared vocabulary (repro.fleet.events.FLEET_EVENT_KINDS)"

@@ -1,0 +1,272 @@
+"""Fork-safety rules for the fleet worker pool.
+
+``repro.fleet`` forks worker processes and ships work across
+``multiprocessing`` queues.  Three classes of mistake survive every unit
+test and then wedge or diverge a real fleet:
+
+* **Untimed blocking** — a bare ``queue.get()`` or ``process.join()``
+  blocks forever when the peer crashed; every blocking call in the fork
+  packages must carry a timeout so the containment logic gets a turn.
+* **Unpicklable payloads** — lambdas, closures, generators, open handles,
+  tracers/monitors/locks captured into a queue ``put()`` or a
+  ``DriveSpec`` die at pickle time (or worse, only on the spawn platform).
+* **Fork-shared mutable state** — module-level containers mutated inside
+  the worker module silently diverge: each forked child mutates its own
+  copy-on-write page and the parent never sees it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+from repro.analysis.project import dotted_name, iter_scopes, walk_scope
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def _queue_like(name: str | None) -> bool:
+    return name is not None and "queue" in name.lower()
+
+
+@register
+class ForkQueueTimeoutRule(Rule):
+    """Blocking queue/process waits in fork packages must carry timeouts."""
+
+    id = "fork-queue-timeout"
+    family = "fork-safety"
+    summary = (
+        "blocking queue get() / process join() without a timeout in "
+        "fork-managed code can hang the fleet when a peer dies"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        if not module.config.in_fork_package(module.module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            if node.args or any(k.arg in ("timeout", "block") for k in node.keywords):
+                continue
+            receiver = dotted_name(node.func.value)
+            if node.func.attr == "get":
+                if _queue_like(receiver):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{receiver}.get() blocks forever if the producer "
+                        "died; pass a timeout and loop on queue.Empty",
+                    )
+            elif node.func.attr == "join" and not node.keywords:
+                yield self.violation(
+                    module,
+                    node,
+                    f"{receiver or 'process'}.join() without a timeout can "
+                    "hang shutdown; join with a timeout and escalate",
+                )
+
+
+@register
+class ForkUnpicklableRule(Rule):
+    """Nothing unpicklable may cross the fork boundary."""
+
+    id = "fork-unpicklable"
+    family = "fork-safety"
+    summary = (
+        "lambda/closure/open-handle/tracer-like object reaches a worker "
+        "queue put() or a fork payload constructor (DriveSpec)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        cfg = module.config
+        if not cfg.in_fork_package(module.module):
+            return
+        for scope_name, body in iter_scopes(module.tree):
+            in_function = scope_name != "<module>"
+            bad_names = self._collect_bad_names(body, cfg, in_function)
+            for node in walk_scope(body):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = self._payload_target(node, cfg)
+                if target is None:
+                    continue
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    reason = self._unpicklable(arg, cfg, bad_names)
+                    if reason is not None:
+                        yield self.violation(
+                            module,
+                            arg,
+                            f"{reason} passed to {target}; it cannot cross "
+                            "the fork/pickle boundary",
+                        )
+
+    def _payload_target(self, call: ast.Call, cfg) -> str | None:
+        """A description of the fork boundary this call feeds, if any."""
+        if isinstance(call.func, ast.Attribute) and call.func.attr in (
+            "put",
+            "put_nowait",
+        ):
+            receiver = dotted_name(call.func.value)
+            if _queue_like(receiver):
+                return f"{receiver}.{call.func.attr}()"
+        name = dotted_name(call.func)
+        if name is not None and name.split(".")[-1] in cfg.fork_payload_types:
+            return f"{name.split('.')[-1]}(...)"
+        return None
+
+    def _collect_bad_names(
+        self, body: list[ast.stmt], cfg, in_function: bool
+    ) -> dict[str, str]:
+        """Scope names bound to unpicklable values (one level deep)."""
+        bad: dict[str, str] = {}
+        for node in walk_scope(body):
+            if isinstance(node, ast.Assign):
+                reason = self._unpicklable(node.value, cfg, bad)
+                if reason is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            bad[target.id] = reason
+        if in_function:
+            # Functions defined inside another function are closures:
+            # picklable module-level defs they are not.
+            for stmt in body:
+                if isinstance(stmt, _FuncDef):
+                    bad[stmt.name] = f"nested function {stmt.name!r} (closure)"
+        return bad
+
+    def _unpicklable(self, expr: ast.expr, cfg, bad_names: dict[str, str]) -> str | None:
+        if isinstance(expr, ast.Lambda):
+            return "lambda"
+        if isinstance(expr, ast.GeneratorExp):
+            return "generator expression"
+        if isinstance(expr, ast.Name) and expr.id in bad_names:
+            return bad_names[expr.id]
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name == "open":
+                return "open file handle"
+            if name is not None and name.split(".")[-1] in (
+                cfg.fork_unpicklable_constructors
+            ):
+                return f"{name.split('.')[-1]} instance"
+            return None
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            for element in expr.elts:
+                reason = self._unpicklable(element, cfg, bad_names)
+                if reason is not None:
+                    return reason
+            return None
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is None:
+                    continue
+                reason = self._unpicklable(value, cfg, bad_names)
+                if reason is not None:
+                    return reason
+            return None
+        return None
+
+
+@register
+class ForkSharedStateRule(Rule):
+    """Worker-module functions must not mutate module-level containers."""
+
+    id = "fork-shared-state"
+    family = "fork-safety"
+    summary = (
+        "module-level mutable state mutated inside a forked worker module "
+        "diverges between parent and children"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        cfg = module.config
+        if not cfg.is_fork_worker_module(module.module):
+            return
+        own = module.summary
+        if own is None:
+            return
+
+        def mutable_global(name: str) -> bool:
+            if name in own.mutable_globals:
+                return True
+            # An imported binding resolving to another module's
+            # module-level mutable container is shared state too.
+            if module.project is not None and name in own.bindings:
+                target = module.project.resolve(module.module, name)
+                if target is not None:
+                    owner, _, leaf = target.rpartition(".")
+                    owner_summary = module.project.summaries.get(owner)
+                    if owner_summary is not None:
+                        return leaf in owner_summary.mutable_globals
+            return False
+
+        for scope_name, body in iter_scopes(module.tree):
+            if scope_name == "<module>":
+                continue  # import-time mutation happens pre-fork, uniformly
+            declared_global: set[str] = set()
+            for node in walk_scope(body):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+            for node in walk_scope(body):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and mutable_global(node.func.value.id)
+                ):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{node.func.value.id}.{node.func.attr}() mutates "
+                        f"module-level state inside forked {scope_name}(); "
+                        "each child mutates its own copy — pass state "
+                        "explicitly or return it via the result queue",
+                    )
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and mutable_global(target.value.id)
+                        ):
+                            yield self.violation(
+                                module,
+                                target,
+                                f"{target.value.id}[...] assignment mutates "
+                                f"module-level state inside forked "
+                                f"{scope_name}(); forked children diverge",
+                            )
+                        elif (
+                            isinstance(target, ast.Name)
+                            and target.id in declared_global
+                            and target.id in own.mutable_globals
+                        ):
+                            yield self.violation(
+                                module,
+                                target,
+                                f"global {target.id} rebound inside forked "
+                                f"{scope_name}(); forked children diverge",
+                            )

@@ -44,6 +44,7 @@ class BatchedHotPathRule(Rule):
     """Pipeline loops must score through the batched entry points."""
 
     id = "batched-hot-path"
+    family = "performance"
     summary = (
         "per-window predict/decision calls inside pipeline loops must use "
         "the *_batch entry points (per-window loops only in *_reference "

@@ -20,6 +20,7 @@ class MonitorEventVocabularyRule(Rule):
     """``Monitor.emit_event`` kinds come from the declared vocabulary."""
 
     id = "monitor-event-vocabulary"
+    family = "telemetry"
     summary = (
         "Monitor.emit_event kinds must be string literals from the declared "
         "vocabulary (repro.monitor.events.MONITOR_EVENT_KINDS)"

@@ -35,6 +35,7 @@ class BenchRegistryRule(Rule):
     """Suite modules follow the @bench contract."""
 
     id = "bench-registry"
+    family = "performance"
     summary = (
         "perf suite functions must be @bench-registered with unit-suffixed "
         "names and must not read wall clocks (the runner owns timing)"

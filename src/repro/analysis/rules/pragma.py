@@ -1,0 +1,61 @@
+"""Suppression hygiene: pragmas must name real rules and actually work.
+
+A ``# reprolint: skip=determinsm-clock`` typo used to silently suppress
+nothing while the author believed the line was covered; a
+``skip-file`` pragma below the first-10-lines window was silently inert.
+Both are now findings: the suppression machinery stays strict and the
+analyzer tells you when a pragma does not do what it says.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import (
+    _SKIP_FILE_SCAN_LINES,
+    ModuleContext,
+    Rule,
+    Violation,
+    all_rules,
+    register,
+)
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    """Pragmas referencing unknown rules or placed where they are inert."""
+
+    id = "suppression-hygiene"
+    family = "suppressions"
+    summary = (
+        "# reprolint: pragma names an unknown rule or uses skip-file "
+        "outside the first-10-lines window (where it has no effect)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        known = {rule.id for rule in all_rules()} | {"syntax-error"}
+        for pragma in module.pragmas:
+            for name in pragma.rules:
+                if name not in known:
+                    yield Violation(
+                        rule_id=self.id,
+                        path=module.path,
+                        line=pragma.line,
+                        col=pragma.col,
+                        message=(
+                            f"suppression names unknown rule {name!r}; "
+                            "it suppresses nothing (typo?)"
+                        ),
+                    )
+            if pragma.kind == "skip-file" and pragma.line > _SKIP_FILE_SCAN_LINES:
+                yield Violation(
+                    rule_id=self.id,
+                    path=module.path,
+                    line=pragma.line,
+                    col=pragma.col,
+                    message=(
+                        f"skip-file pragma on line {pragma.line} is inert: "
+                        f"it is only honoured within the first "
+                        f"{_SKIP_FILE_SCAN_LINES} lines"
+                    ),
+                )

@@ -39,6 +39,7 @@ class SwallowedErrorRule(Rule):
     """No bare ``except:`` and no silently dropped broad exceptions."""
 
     id = "swallowed-error"
+    family = "robustness"
     summary = (
         "no bare except clauses, and except Exception handlers must do "
         "something (degradations leave an audit trail)"
@@ -69,6 +70,7 @@ class MutableDefaultRule(Rule):
     """No mutable default argument values."""
 
     id = "mutable-default"
+    family = "robustness"
     summary = "no list/dict/set literals (or constructors) as parameter defaults"
 
     def check(self, module: ModuleContext) -> Iterator[Violation]:

@@ -19,6 +19,7 @@ class SpanContextRule(Rule):
     """``.span(...)`` is only legal as a ``with`` context manager."""
 
     id = "span-context"
+    family = "telemetry"
     summary = (
         "Tracer.span(...) must be used as a context manager (use "
         "begin()/end() for callback-driven spans)"
@@ -52,6 +53,7 @@ class EventVocabularyRule(Rule):
     """``Trace.emit`` kinds come from the declared vocabulary."""
 
     id = "event-vocabulary"
+    family = "telemetry"
     summary = (
         "Trace.emit event kinds must be string literals from the declared "
         "vocabulary (repro.zynq.events.EVENT_KINDS)"

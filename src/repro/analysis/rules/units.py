@@ -43,6 +43,7 @@ class UnitSuffixRule(Rule):
     """Time/throughput names must end in a unit suffix."""
 
     id = "unit-suffix"
+    family = "naming"
     summary = (
         "parameters and fields named like durations/throughputs must carry "
         "a unit suffix (_s/_ms/_us/_mbs/...)"

@@ -32,6 +32,20 @@ from repro.fleet.events import check_fleet_event_kind
 from repro.fleet.outcome import DriveOutcome
 from repro.fleet.worker import execute_spec, worker_main
 
+#: Bound on every process ``join`` in the scheduler.  Joins happen on
+#: dead or just-terminated workers, so they normally return instantly —
+#: the timeout (plus the ``kill`` escalation in :func:`_reap`) is the
+#: guarantee that a wedged child can never hang the whole fleet.
+JOIN_TIMEOUT_S = 5.0
+
+
+def _reap(process: Any) -> None:
+    """Join ``process`` with a bounded wait, escalating to SIGKILL."""
+    process.join(timeout=JOIN_TIMEOUT_S)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=JOIN_TIMEOUT_S)
+
 
 @dataclass(frozen=True)
 class FleetConfig:
@@ -301,7 +315,7 @@ class FleetScheduler:
                 # A worker only exits mid-task by dying; its in-flight
                 # drive becomes a crashed outcome and the slot respawns.
                 exit_code = slot.process.exitcode
-                slot.process.join()
+                _reap(slot.process)
                 results[index] = DriveOutcome(
                     spec=spec_dict,
                     status="crashed",
@@ -320,7 +334,7 @@ class FleetScheduler:
                 progressed = True
             elif now_s > slot.deadline_s:
                 slot.process.terminate()
-                slot.process.join()
+                _reap(slot.process)
                 results[index] = DriveOutcome(
                     spec=spec_dict,
                     status="timeout",
@@ -353,7 +367,7 @@ class FleetScheduler:
             slot.process.join(timeout=2.0)
             if slot.process.is_alive():
                 slot.process.terminate()
-                slot.process.join()
+                _reap(slot.process)
 
 
 def run_fleet(

@@ -19,6 +19,7 @@ test.
 from __future__ import annotations
 
 import os
+import queue
 import time
 from pathlib import Path
 from typing import Any, Mapping
@@ -34,6 +35,11 @@ CHAOS_EXIT_CODE = 21
 
 #: How long a chaos ``hang`` sleeps — far past any sane drive timeout.
 CHAOS_HANG_S = 3600.0
+
+#: Task-queue poll interval.  A worker must never block forever on a
+#: queue whose producer may have died; it polls and loops instead, so the
+#: scheduler's containment (or a plain SIGTERM) always gets a turn.
+TASK_POLL_TIMEOUT_S = 1.0
 
 
 def _spec_of(spec: "DriveSpec | Mapping[str, Any]") -> DriveSpec:
@@ -145,7 +151,10 @@ def worker_main(
     that into an outcome on the parent side.
     """
     while True:
-        item = task_queue.get()
+        try:
+            item = task_queue.get(timeout=TASK_POLL_TIMEOUT_S)
+        except queue.Empty:
+            continue
         if item is None:
             return
         index, spec_dict = item

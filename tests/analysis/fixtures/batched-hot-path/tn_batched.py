@@ -1,0 +1,6 @@
+# module: repro.pipelines.fixture
+
+
+def scan(model, chunks):
+    for chunk in chunks:
+        model.predict_batch(chunk)

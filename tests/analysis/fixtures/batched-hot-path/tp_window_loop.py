@@ -1,0 +1,8 @@
+# module: repro.pipelines.fixture
+
+
+def scan(model, windows):
+    out = []
+    for w in windows:
+        out.append(model.decision_values(w))
+    return out

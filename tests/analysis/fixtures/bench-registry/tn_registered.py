@@ -1,0 +1,7 @@
+# module: repro.perf.suites.fixture
+from repro.perf.registry import bench
+
+
+@bench('resize_ms', group='imaging')
+def resize(ctx):
+    return lambda: None

@@ -1,0 +1,5 @@
+# module: repro.perf.suites.fixture
+
+
+def resize_bench(ctx):
+    return lambda: None

@@ -1,0 +1,5 @@
+# module: repro.zynq.fixture
+
+
+def step(clock):
+    return clock()

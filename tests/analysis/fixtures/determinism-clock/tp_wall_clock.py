@@ -1,0 +1,4 @@
+# module: repro.zynq.fixture
+import time
+
+x = time.time()

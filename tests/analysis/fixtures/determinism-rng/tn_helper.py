@@ -1,0 +1,4 @@
+# module: repro.zynq.fixture
+from repro.rng import make_rng
+
+rng = make_rng(7)

@@ -1,0 +1,2 @@
+# module: repro.zynq.fixture
+import random

@@ -1,0 +1,6 @@
+# module: repro.cleanpkg
+"""Package whose surface matches its __all__."""
+
+from repro.cleanpkg.impl import helper
+
+__all__ = ["helper"]

@@ -1,0 +1,6 @@
+# module: repro.deadpkg
+"""Package with a re-export nobody exports or uses."""
+
+from repro.deadpkg.impl import helper, used_helper
+
+__all__ = ["used_helper"]

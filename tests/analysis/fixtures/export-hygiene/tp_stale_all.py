@@ -1,0 +1,6 @@
+# module: repro.fixture
+__all__ = ["present", "gone", "present"]
+
+
+def present():
+    return 1

@@ -1,0 +1,2 @@
+# module: repro.fleet.fixture
+scheduler.fleet_event('fleet.party')

@@ -1,0 +1,5 @@
+# module: repro.imaging.fixture
+
+
+def drain(task_queue):
+    return task_queue.get()

@@ -1,0 +1,8 @@
+# module: repro.fleet.fixture
+
+
+def drain(task_queue, process, options):
+    item = task_queue.get(timeout=1.0)
+    process.join(timeout=2.0)
+    mode = options.get("mode")
+    return item, mode

@@ -1,0 +1,7 @@
+# module: repro.fleet.fixture
+
+
+def drain(task_queue, process):
+    item = task_queue.get()
+    process.join()
+    return item

@@ -1,0 +1,7 @@
+# module: repro.fleet.worker
+
+
+def worker_loop(task_queue):
+    results = {}
+    results["last"] = task_queue
+    return results

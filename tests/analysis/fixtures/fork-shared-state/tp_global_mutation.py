@@ -1,0 +1,6 @@
+# module: repro.fleet.worker
+_RESULTS = {}
+
+
+def worker_loop(task_queue):
+    _RESULTS["last"] = task_queue

@@ -1,0 +1,5 @@
+# module: repro.fleet.fixture
+
+
+def ship(task_queue, spec):
+    task_queue.put((0, spec.to_dict()))

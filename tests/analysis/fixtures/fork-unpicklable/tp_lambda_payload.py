@@ -1,0 +1,6 @@
+# module: repro.fleet.fixture
+
+
+def ship(task_queue, spec):
+    on_frame = lambda frame: frame
+    task_queue.put((spec, on_frame))

@@ -1,0 +1,7 @@
+# module: repro.fleet.fixture
+from repro.core.spec import DriveSpec
+from repro.telemetry import Tracer
+
+
+def make_spec():
+    return DriveSpec(name="d", trace=Tracer())

@@ -1,0 +1,5 @@
+# module: repro.cyc.alpha
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import repro.cyc.beta

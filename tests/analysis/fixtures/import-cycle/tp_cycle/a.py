@@ -1,0 +1,2 @@
+# module: repro.cyc.alpha
+import repro.cyc.beta

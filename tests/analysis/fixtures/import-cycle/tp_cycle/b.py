@@ -1,0 +1,2 @@
+# module: repro.cyc.beta
+import repro.cyc.alpha

@@ -1,0 +1,2 @@
+# module: repro.zynq.fixture
+monitor.emit_event('monitor.trigger', 1.0, trigger='fault')

@@ -1,0 +1,2 @@
+# module: repro.zynq.fixture
+monitor.emit_event('monitor.bogus', 1.0)

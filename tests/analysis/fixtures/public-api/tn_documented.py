@@ -1,0 +1,6 @@
+# module: repro.pipelines.fixture
+
+
+def detect(frame: object) -> list:
+    """Run detection."""
+    return []

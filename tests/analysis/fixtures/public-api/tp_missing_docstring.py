@@ -1,0 +1,5 @@
+# module: repro.pipelines.fixture
+
+
+def detect(frame: object) -> list:
+    return []

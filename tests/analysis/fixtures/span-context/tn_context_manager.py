@@ -1,0 +1,3 @@
+# module: repro.zynq.fixture
+with tracer.span('drive.frame') as s:
+    pass

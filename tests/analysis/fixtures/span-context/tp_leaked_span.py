@@ -1,0 +1,2 @@
+# module: repro.zynq.fixture
+s = tracer.span('drive.frame')

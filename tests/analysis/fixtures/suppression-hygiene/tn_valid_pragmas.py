@@ -1,0 +1,5 @@
+# module: repro.zynq.fixture
+# reprolint: skip-file=determinism-rng
+import random
+
+x = 1  # reprolint: skip=determinism-clock

@@ -1,0 +1,2 @@
+# module: repro.zynq.fixture
+x = 1  # reprolint: skip=determinsm-clock

@@ -1,0 +1,5 @@
+# module: repro.zynq.fixture
+try:
+    f()
+except Exception:
+    pass

@@ -1,0 +1,7 @@
+# module: repro.fleet.taint_builder
+import time
+
+
+def build(frames):
+    t0 = time.perf_counter()
+    return {"frames": len(frames), "wall": time.perf_counter() - t0}

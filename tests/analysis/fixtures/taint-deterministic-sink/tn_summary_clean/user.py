@@ -1,0 +1,7 @@
+# module: repro.fleet.taint_clean_user
+from repro.fleet.rollup import deterministic_view
+from repro.fleet.taint_builder import build
+
+
+def snapshot(frames):
+    return deterministic_view(build(frames))

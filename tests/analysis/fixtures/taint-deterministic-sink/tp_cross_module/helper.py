@@ -1,0 +1,6 @@
+# module: repro.fleet.taint_helper
+import time
+
+
+def wall_value():
+    return time.monotonic()

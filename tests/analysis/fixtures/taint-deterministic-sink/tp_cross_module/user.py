@@ -1,0 +1,8 @@
+# module: repro.fleet.taint_user
+from repro.fleet.rollup import deterministic_view
+from repro.fleet.taint_helper import wall_value
+
+
+def snapshot():
+    v = wall_value()
+    return deterministic_view({"v": v})

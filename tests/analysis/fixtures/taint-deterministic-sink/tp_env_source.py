@@ -1,0 +1,9 @@
+# module: repro.fleet.fixture
+import os
+
+from repro.core.spec import frames_digest
+
+
+def digest(frames):
+    tag = os.environ["RUN_TAG"]
+    return frames_digest([tag] + frames)

@@ -1,0 +1,5 @@
+# module: repro.zynq.fixture
+
+
+def f(duration_s, timeout_ms):
+    return duration_s + timeout_ms

@@ -1,0 +1,5 @@
+# module: repro.zynq.fixture
+
+
+def f(duration):
+    return duration

@@ -113,3 +113,84 @@ class TestFlags:
     def test_ignore_drops_a_rule(self, tmp_path):
         write_tree(tmp_path, DIRTY)
         assert main(["lint", str(tmp_path), "--ignore", "determinism-rng"]) == 0
+
+    def test_rules_catalog_is_markdown(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| rule | family | summary |")
+        for rule_id in ("taint-deterministic-sink", "fork-queue-timeout",
+                        "import-cycle", "suppression-hygiene"):
+            assert f"`{rule_id}`" in out
+
+    def test_jobs_matches_serial_output(self, tmp_path, capsys):
+        write_tree(tmp_path, DIRTY)
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        serial = capsys.readouterr().out
+        assert main(["lint", str(tmp_path), "--format", "json", "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_bad_jobs_exits_two(self, tmp_path, capsys):
+        write_tree(tmp_path, CLEAN)
+        assert main(["lint", str(tmp_path), "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestSarif:
+    def test_sarif_format(self, tmp_path, capsys):
+        write_tree(tmp_path, DIRTY)
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert "determinism-rng" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "determinism-rng"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("generated.py")
+        assert location["region"]["startLine"] == 1
+        assert result["ruleIndex"] == sorted(rule_ids).index("determinism-rng")
+
+    def test_sarif_out_writes_artifact(self, tmp_path, capsys):
+        write_tree(tmp_path, DIRTY)
+        artifact = tmp_path / "lint.sarif"
+        assert main(["lint", str(tmp_path), "--sarif-out", str(artifact)]) == 1
+        capsys.readouterr()
+        doc = json.loads(artifact.read_text())
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+
+class TestBaselineGate:
+    def test_update_then_compare_passes(self, tmp_path, capsys):
+        write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "LINT_BASELINE.json"
+        assert main(["lint", str(tmp_path), "--update-baseline", str(baseline)]) == 0
+        assert baseline.is_file()
+        assert main(["lint", str(tmp_path), "--compare-baseline", str(baseline)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_new_finding_fails_the_gate(self, tmp_path, capsys):
+        target = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "LINT_BASELINE.json"
+        assert main(["lint", str(tmp_path), "--update-baseline", str(baseline)]) == 0
+        target.write_text(DIRTY + "import time\ny = time.time()\n")
+        assert main(["lint", str(tmp_path), "--compare-baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "NEW FINDINGS" in out
+        assert "determinism-clock" in out
+
+    def test_fixed_finding_still_passes_and_hints_ratchet(self, tmp_path, capsys):
+        target = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "LINT_BASELINE.json"
+        assert main(["lint", str(tmp_path), "--update-baseline", str(baseline)]) == 0
+        target.write_text(CLEAN)
+        assert main(["lint", str(tmp_path), "--compare-baseline", str(baseline)]) == 0
+        assert "--update-baseline" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        write_tree(tmp_path, CLEAN)
+        missing = tmp_path / "nope.json"
+        assert main(["lint", str(tmp_path), "--compare-baseline", str(missing)]) == 2
+        assert "no lint baseline" in capsys.readouterr().err

@@ -235,6 +235,32 @@ class TestSuppressions:
         src = "\n" * 20 + "# reprolint: skip-file\nimport random\n"
         assert only(src, "determinism-rng") == ["determinism-rng"]
 
+    def test_late_skip_file_is_reported_not_silently_ignored(self):
+        src = "\n" * 20 + "# reprolint: skip-file\nimport random\n"
+        assert only(src, "suppression-hygiene") == ["suppression-hygiene"]
+
+    def test_unknown_rule_in_skip_warns(self):
+        src = "x = 1  # reprolint: skip=determinsm-clock\n"
+        found = analyze_source(src, module=SIM_MODULE)
+        assert [v.rule_id for v in found] == ["suppression-hygiene"]
+        assert "determinsm-clock" in found[0].message
+
+    def test_known_rule_in_skip_is_quiet(self):
+        src = "import random  # reprolint: skip=determinism-rng\n"
+        assert only(src, "suppression-hygiene") == []
+
+    def test_pragma_inside_string_literal_is_inert(self):
+        # Pragma-shaped text in a docstring neither suppresses the line
+        # nor counts as a (possibly bogus) suppression comment.
+        src = (
+            'DOC = """\n'
+            "    # reprolint: skip=no-such-rule\n"
+            '"""\n'
+            "import random  # the string above must not suppress this\n"
+        )
+        assert only(src, "determinism-rng") == ["determinism-rng"]
+        assert only(src, "suppression-hygiene") == []
+
 
 class TestFramework:
     def test_syntax_error_reported_not_raised(self):

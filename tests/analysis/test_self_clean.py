@@ -12,16 +12,26 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import analyze_paths
+from repro.analysis.baseline import compare_baseline, load_baseline
 
 pytestmark = pytest.mark.analysis
 
-SRC = Path(__file__).resolve().parents[2] / "src"
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+BASELINE = REPO / "LINT_BASELINE.json"
 
 
 def test_source_tree_is_lint_clean():
     violations = analyze_paths([SRC])
     report = "\n".join(v.render() for v in violations)
     assert not violations, f"reprolint violations in src/:\n{report}"
+
+
+def test_committed_baseline_gate_passes():
+    # The same invariant check.sh enforces: the committed baseline is
+    # honest and no finding exceeds it.
+    comparison = compare_baseline(analyze_paths([SRC]), load_baseline(BASELINE))
+    assert comparison.ok, f"findings beyond LINT_BASELINE.json: {comparison.regressions}"
 
 
 def test_source_tree_was_actually_scanned():

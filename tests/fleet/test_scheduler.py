@@ -17,7 +17,13 @@ import pytest
 from repro.core.spec import DriveSpec
 from repro.errors import FleetError
 from repro.fleet.rollup import deterministic_view, validate_rollup
-from repro.fleet.scheduler import FleetConfig, FleetScheduler, run_fleet
+from repro.fleet.scheduler import (
+    JOIN_TIMEOUT_S,
+    FleetConfig,
+    FleetScheduler,
+    _reap,
+    run_fleet,
+)
 from repro.fleet.specs import sweep_specs
 
 pytestmark = pytest.mark.fleet
@@ -121,6 +127,44 @@ class TestAdmissionControl:
         assert rollup["fleet"]["rejected"] == 1
         statuses = [o["status"] for o in rollup["outcomes"]]
         assert statuses == ["ok", "ok", "rejected"]
+
+
+class _FakeProcess:
+    """Records join/kill calls; ``alive_script`` answers is_alive() in order."""
+
+    def __init__(self, alive_script):
+        self.alive_script = list(alive_script)
+        self.joins = []
+        self.kills = 0
+
+    def join(self, timeout=None):
+        self.joins.append(timeout)
+
+    def is_alive(self):
+        return self.alive_script.pop(0)
+
+    def kill(self):
+        self.kills += 1
+
+
+class TestReap:
+    """Pins the bounded-join contract: reaping a worker can never hang the
+    scheduler, even when the child ignores terminate()."""
+
+    def test_join_timeout_is_bounded(self):
+        assert 0 < JOIN_TIMEOUT_S <= 30.0
+
+    def test_cooperative_exit_needs_no_kill(self):
+        process = _FakeProcess(alive_script=[False])
+        _reap(process)
+        assert process.joins == [JOIN_TIMEOUT_S]
+        assert process.kills == 0
+
+    def test_stuck_process_is_killed(self):
+        process = _FakeProcess(alive_script=[True])
+        _reap(process)
+        assert process.kills == 1
+        assert process.joins == [JOIN_TIMEOUT_S, JOIN_TIMEOUT_S]
 
 
 class TestEvents:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import queue
+
 import pytest
 
 from repro.core.spec import DriveSpec
@@ -13,7 +15,7 @@ from repro.fleet.outcome import (
     deterministic_metrics,
     deterministic_outcome_dict,
 )
-from repro.fleet.worker import execute_spec
+from repro.fleet.worker import TASK_POLL_TIMEOUT_S, execute_spec, worker_main
 
 pytestmark = pytest.mark.fleet
 
@@ -92,6 +94,58 @@ class TestChaosContainment:
         outcome = execute_spec(DriveSpec(duration_s=1.0, chaos="hang"))
         assert outcome.status == "timeout"
         assert "chaos" in outcome.error
+
+
+class _ScriptedQueue:
+    """A queue that replays a script of items and ``queue.Empty`` markers."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.timeouts = []
+
+    def get(self, timeout=None):
+        self.timeouts.append(timeout)
+        if not self.script:
+            raise queue.Empty
+        item = self.script.pop(0)
+        if item is queue.Empty:
+            raise queue.Empty
+        return item
+
+
+class _ListQueue:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+
+class TestWorkerLoop:
+    """Pins the timed-poll contract: a worker never blocks forever on its
+    task queue, so scheduler containment (or SIGTERM) always gets a turn."""
+
+    def test_poll_timeout_is_bounded(self):
+        assert 0 < TASK_POLL_TIMEOUT_S <= 5.0
+
+    def test_empty_poll_retries_then_sentinel_exits(self):
+        tasks = _ScriptedQueue([queue.Empty, queue.Empty, None])
+        results = _ListQueue()
+        worker_main(0, tasks, results, None, False, False)
+        assert tasks.timeouts == [TASK_POLL_TIMEOUT_S] * 3
+        assert results.items == []
+
+    def test_task_after_empty_poll_is_still_executed(self):
+        spec = DriveSpec(name="poll", duration_s=1.0, seed=3)
+        tasks = _ScriptedQueue([queue.Empty, (7, spec.to_dict()), None])
+        results = _ListQueue()
+        worker_main(2, tasks, results, None, False, False)
+        assert len(results.items) == 1
+        index, outcome_dict = results.items[0]
+        assert index == 7
+        outcome = DriveOutcome.from_dict(outcome_dict)
+        assert outcome.ok
+        assert outcome.worker_id == 2
 
 
 class TestOutcomeWire:
