@@ -38,11 +38,13 @@ def _default_wall_strip_keys() -> frozenset[str]:
     # removed before any byte-compared artefact is built.
     from repro.fleet.outcome import WALL_METRIC_NAMES, WALL_OUTCOME_FIELDS
     from repro.fleet.rollup import WALL_ROLLUP_KEYS
+    from repro.fleet.status import WALL_STATUS_KEYS
 
     return (
         frozenset(WALL_METRIC_NAMES)
         | frozenset(WALL_OUTCOME_FIELDS)
         | frozenset(WALL_ROLLUP_KEYS)
+        | frozenset(WALL_STATUS_KEYS)
     )
 
 

@@ -13,8 +13,9 @@
                           [--monitor-out DIR]
     python -m repro telemetry --telemetry-in PATH [--top N]
                           [--since S] [--until S]   # summarise a dump/bundle
+                          [--format text|openmetrics]
     python -m repro incident list|show|report|replay|smoke ...   # see MONITOR.md
-    python -m repro fleet run|report|smoke ...                   # see FLEET.md
+    python -m repro fleet run|top|report|smoke ...               # see FLEET.md
     python -m repro lint [PATHS] [--format text|json] [--select R] [--ignore R]
     python -m repro bench [--smoke] [--compare BASELINE] [--filter S]
     python -m repro all [--scale S]      # everything, in paper order
@@ -201,6 +202,12 @@ def _telemetry(args) -> str:
     if args.telemetry_in is None:
         raise SystemExit("telemetry: --telemetry-in PATH is required")
     dump = load_dump(args.telemetry_in)
+    if args.format == "openmetrics":
+        from repro.telemetry import render_openmetrics
+
+        # Exposition of the dump's metric snapshot (spans have no
+        # OpenMetrics shape; the text report below covers them).
+        return render_openmetrics(dump.metrics).rstrip("\n")
     if args.since is not None or args.until is not None:
         dump.spans = filter_spans(dump.spans, since_s=args.since, until_s=args.until)
         window = f"[{args.since if args.since is not None else '-inf'}, " \
@@ -337,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="telemetry dump to summarise (telemetry command)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "openmetrics"],
+        default="text",
+        help="telemetry report format (telemetry command; default text)",
     )
     parser.add_argument(
         "--top",

@@ -49,10 +49,13 @@ TRACE_FACTORIES = {
 }
 
 #: Chaos hooks for worker-containment testing (see FLEET.md).  ``crash``
-#: hard-exits the executing worker process; ``hang`` sleeps past any drive
-#: timeout.  Both are plain data, so a chaos drive is as shardable as a
-#: real one — the scheduler must contain it, not crash with it.
-CHAOS_MODES = ("crash", "hang")
+#: hard-exits the executing worker process; ``hang`` goes fully silent —
+#: heartbeats stop, then the worker sleeps past any drive timeout;
+#: ``slow`` keeps heartbeating while sleeping past the deadline, so the
+#: scheduler can tell a wedged worker from a merely overloaded one.  All
+#: are plain data, so a chaos drive is as shardable as a real one — the
+#: scheduler must contain it, not crash with it.
+CHAOS_MODES = ("crash", "hang", "slow")
 
 
 def _scenario_names() -> tuple[str, ...]:

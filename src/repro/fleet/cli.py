@@ -3,14 +3,22 @@
     repro fleet run [--count N] [--workers W] [--duration S] [--seed S]
                     [--out PATH] [--incidents-dir DIR] [--timeout S]
                     [--queue-capacity N] [--no-monitor] [--no-latency]
+                    [--no-stream] [--status-out PATH] [--metrics-out PATH]
+                    [--trace-dir DIR] [--trace-out PATH]
+    repro fleet top [--once] [--status-in PATH] [run options...]
     repro fleet report PATH
     repro fleet smoke
 
 ``run`` executes a seeded sweep and writes a schema-versioned
-``FLEET_*.json`` rollup.  ``report`` renders an existing rollup.
-``smoke`` is the CI gate: a small sharded run whose per-drive frame
-digests are re-checked against inline in-process execution — the
-byte-identity contract of the whole subsystem, at check.sh cost.
+``FLEET_*.json`` rollup; the live-plane flags stream status snapshots
+(JSONL), an OpenMetrics exposition, and a stitched Chrome trace while it
+does.  ``top`` is the live view: it either drives a sweep itself and
+refreshes a status screen per snapshot (``--once`` prints just the final
+snapshot), or renders snapshots from an existing ``--status-in`` JSONL
+stream.  ``report`` renders an existing rollup.  ``smoke`` is the CI
+gate: a small sharded run whose per-drive frame digests are re-checked
+against inline in-process execution — the byte-identity contract of the
+whole subsystem, at check.sh cost.
 
 Exit codes: 0 success, 1 degraded (failed/crashed/timeout drives, or a
 smoke mismatch), 2 usage / unreadable input.
@@ -19,9 +27,14 @@ smoke mismatch), 2 usage / unreadable input.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.errors import FleetError, ReproError
+
+#: ANSI clear-screen + cursor-home prefix for the refreshing live view.
+_CLEAR = "\x1b[2J\x1b[H"
 
 
 def _cmd_run(args) -> int:
@@ -37,13 +50,119 @@ def _cmd_run(args) -> int:
         incidents_dir=args.incidents_dir,
         monitored=not args.no_monitor,
         record_latency=not args.no_latency,
+        streaming=not args.no_stream,
+        status_interval_s=args.status_interval,
+        trace_dir=args.trace_dir,
     )
-    rollup = run_fleet(specs, config)
+    rollup = run_fleet(
+        specs,
+        config,
+        status_out=args.status_out,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+    )
     path = write_rollup(rollup, args.out)
     print(render_rollup(rollup))
     print(f"rollup -> {path}")
     not_ok = rollup["fleet"]["drives"] - rollup["fleet"]["ok"]
     return 1 if not_ok else 0
+
+
+#: ``top`` without ``--once`` following a ``--status-in`` stream gives up
+#: after this much time with no fresh snapshot (the writer likely died).
+_FOLLOW_IDLE_TIMEOUT_S = 30.0
+
+
+def _cmd_top_stream(args) -> int:
+    """Render snapshots from an existing ``--status-out`` JSONL stream."""
+    from pathlib import Path
+
+    from repro.fleet.status import render_status, validate_status
+
+    def latest() -> "dict | None":
+        try:
+            text = Path(args.status_in).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise FleetError(
+                f"cannot read status stream {args.status_in!r}: {exc}"
+            ) from exc
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            return None
+        try:
+            return json.loads(lines[-1])
+        except json.JSONDecodeError as exc:
+            raise FleetError(
+                f"malformed status line in {args.status_in!r}: {exc}"
+            ) from exc
+
+    if args.once:
+        snapshot = latest()
+        if snapshot is None:
+            print(f"fleet top: no snapshots in {args.status_in}")
+            return 1
+        validate_status(snapshot)
+        print(render_status(snapshot))
+        return 0
+    shown: "dict | None" = None
+    idle_deadline_s = time.monotonic() + _FOLLOW_IDLE_TIMEOUT_S
+    while True:
+        snapshot = latest()
+        if snapshot is not None and snapshot != shown:
+            validate_status(snapshot)
+            print(_CLEAR + render_status(snapshot), flush=True)
+            shown = snapshot
+            idle_deadline_s = time.monotonic() + _FOLLOW_IDLE_TIMEOUT_S
+            if snapshot.get("phase") == "done":
+                return 0
+        if time.monotonic() > idle_deadline_s:
+            print("fleet top: status stream idle, giving up")
+            return 1
+        time.sleep(0.2)
+
+
+def _cmd_top(args) -> int:
+    """Drive a sweep with the live plane on and show its status snapshots."""
+    if args.status_in is not None:
+        return _cmd_top_stream(args)
+
+    from repro.fleet.scheduler import (
+        FleetConfig,
+        FleetScheduler,
+        _status_jsonl_listener,
+    )
+    from repro.fleet.specs import sweep_specs
+    from repro.fleet.status import render_status, validate_status
+
+    if args.workers < 1:
+        raise FleetError(
+            "fleet top needs at least one worker (the live plane is sharded-only)"
+        )
+    specs = sweep_specs(args.count, fleet_seed=args.seed, duration_s=args.duration)
+    config = FleetConfig(
+        workers=args.workers,
+        drive_timeout_s=args.timeout,
+        status_interval_s=args.status_interval,
+    )
+    scheduler = FleetScheduler(config)
+    if not args.once:
+        scheduler.status_listeners.append(
+            lambda snapshot: print(_CLEAR + render_status(snapshot), flush=True)
+        )
+    if args.status_out is not None:
+        from pathlib import Path
+
+        Path(args.status_out).write_text("", encoding="utf-8")
+        scheduler.status_listeners.append(_status_jsonl_listener(args.status_out))
+    scheduler.submit_all(specs)
+    outcomes = scheduler.run()
+    final = scheduler.last_status
+    if final is None:
+        print("fleet top: no status snapshots published")
+        return 1
+    validate_status(final)
+    print(render_status(final))
+    return 0 if all(o.ok for o in outcomes) else 1
 
 
 def _cmd_report(args) -> int:
@@ -107,7 +226,56 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--queue-capacity", type=int, default=256, help="admission queue bound")
     run.add_argument("--no-monitor", action="store_true", help="run drives unmonitored")
     run.add_argument("--no-latency", action="store_true", help="skip latency histograms")
+    run.add_argument("--no-stream", action="store_true", help="disable the live plane")
+    run.add_argument(
+        "--status-interval",
+        type=float,
+        default=1.0,
+        help="seconds between FleetStatus snapshots",
+    )
+    run.add_argument(
+        "--status-out", default=None, help="append status snapshots as JSONL here"
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        help="rewrite an OpenMetrics exposition here per snapshot",
+    )
+    run.add_argument(
+        "--trace-dir", default=None, help="directory for per-drive span dumps"
+    )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        help="stitch drive + scheduler spans into one Chrome trace here",
+    )
     run.set_defaults(func=_cmd_run)
+
+    top = sub.add_parser("top", help="live fleet status view (see FLEET.md)")
+    top.add_argument(
+        "--once", action="store_true", help="print only the final snapshot"
+    )
+    top.add_argument(
+        "--status-in",
+        default=None,
+        help="render snapshots from an existing --status-out JSONL stream "
+        "instead of running a sweep",
+    )
+    top.add_argument("--count", type=int, default=8, help="drives in the sweep")
+    top.add_argument("--workers", type=int, default=2, help="worker processes (>= 1)")
+    top.add_argument("--duration", type=float, default=2.0, help="per-drive sim seconds")
+    top.add_argument("--seed", type=int, default=0, help="fleet seed")
+    top.add_argument("--timeout", type=float, default=60.0, help="per-drive wall deadline (s)")
+    top.add_argument(
+        "--status-interval",
+        type=float,
+        default=0.25,
+        help="seconds between screen refreshes / snapshots",
+    )
+    top.add_argument(
+        "--status-out", default=None, help="also append snapshots as JSONL here"
+    )
+    top.set_defaults(func=_cmd_top)
 
     report = sub.add_parser("report", help="render an existing FLEET_*.json rollup")
     report.add_argument("rollup", help="path to the rollup artefact")

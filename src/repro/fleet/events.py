@@ -38,6 +38,19 @@ FLEET_EVENT_KINDS: frozenset[str] = frozenset(
         "fleet.worker.timeout",
         # A fleet rollup artefact was written to disk.
         "fleet.rollup.write",
+        # A worker's periodic liveness beat (side-channel; counted, not
+        # appended to the scheduler event log).
+        "fleet.worker.heartbeat",
+        # A worker reported per-drive lifecycle progress (started /
+        # finished executing a spec) over the side channel.
+        "fleet.drive.progress",
+        # A running worker's heartbeats went quiet past the suspect
+        # threshold — early warning before the wall deadline fires.
+        "fleet.worker.suspect",
+        # The scheduler published a FleetStatus snapshot (live plane).
+        "fleet.status.snapshot",
+        # Per-drive span dumps were stitched into one fleet trace.
+        "fleet.trace.stitch",
     }
 )
 

@@ -26,8 +26,22 @@ from repro.errors import FleetError
 OUTCOME_STATUSES = ("ok", "failed", "crashed", "timeout", "rejected")
 
 #: Outcome dict keys whose values are wall-clock-derived (stripped by
-#: :func:`deterministic_outcome_dict`).
-WALL_OUTCOME_FIELDS = ("latency_ms", "wall_s", "worker_id")
+#: :func:`deterministic_outcome_dict`).  ``hang_verdict`` and
+#: ``last_heartbeat_age_s`` describe the *execution* of a timed-out drive
+#: (did heartbeats stop, and how stale was the last one) — liveness is a
+#: wall-clock property, so both stay out of the deterministic view.
+WALL_OUTCOME_FIELDS = (
+    "latency_ms",
+    "wall_s",
+    "worker_id",
+    "hang_verdict",
+    "last_heartbeat_age_s",
+)
+
+#: Legal ``hang_verdict`` values for ``timeout`` outcomes: ``hung`` means
+#: the worker's heartbeats stopped before the deadline fired; ``deadline``
+#: means the worker was still beating — slow, not wedged.
+HANG_VERDICTS = ("hung", "deadline")
 
 #: Metric series that carry wall-clock measurements and therefore vary
 #: run to run even for a byte-identical drive.
@@ -56,6 +70,12 @@ class DriveOutcome:
         latency_ms: ``frame_wall_ms`` histogram dict (wall-clock).
         wall_s: Wall-clock duration of the drive (wall-clock).
         worker_id: Executing worker (scheduling-dependent).
+        hang_verdict: For ``timeout`` outcomes with the live plane on:
+            ``"hung"`` (heartbeats stopped) or ``"deadline"`` (still
+            beating, just slow).  ``None`` otherwise (wall-clock).
+        last_heartbeat_age_s: Age of the worker's last heartbeat when the
+            timeout was contained; ``None`` when streaming was off
+            (wall-clock).
     """
 
     spec: dict
@@ -69,11 +89,17 @@ class DriveOutcome:
     latency_ms: dict | None = None
     wall_s: float | None = None
     worker_id: int | None = None
+    hang_verdict: str | None = None
+    last_heartbeat_age_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.status not in OUTCOME_STATUSES:
             raise FleetError(
                 f"unknown outcome status {self.status!r} (one of {OUTCOME_STATUSES})"
+            )
+        if self.hang_verdict is not None and self.hang_verdict not in HANG_VERDICTS:
+            raise FleetError(
+                f"unknown hang_verdict {self.hang_verdict!r} (one of {HANG_VERDICTS})"
             )
 
     @property
@@ -97,6 +123,8 @@ class DriveOutcome:
             "latency_ms": self.latency_ms,
             "wall_s": self.wall_s,
             "worker_id": self.worker_id,
+            "hang_verdict": self.hang_verdict,
+            "last_heartbeat_age_s": self.last_heartbeat_age_s,
         }
 
     @classmethod

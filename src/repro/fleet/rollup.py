@@ -133,6 +133,16 @@ def build_rollup(
     elapsed = float(elapsed_s) if elapsed_s is not None else sum(wall_s_values)
     executed = len(folded)
 
+    # The live plane's hung-vs-deadline split for timeout outcomes.
+    # "unknown" counts timeouts contained with streaming off (no
+    # heartbeats, so no verdict to give).
+    timeouts_by_verdict: dict[str, int] = {}
+    for outcome in folded:
+        if outcome.status != "timeout":
+            continue
+        verdict_key = outcome.hang_verdict or "unknown"
+        timeouts_by_verdict[verdict_key] = timeouts_by_verdict.get(verdict_key, 0) + 1
+
     config_dict: dict = {}
     if config is not None:
         config_dict = config.to_dict() if hasattr(config, "to_dict") else dict(config)  # type: ignore[arg-type]
@@ -171,6 +181,7 @@ def build_rollup(
             "elapsed_s": elapsed,
             "drive_wall_s": sum(wall_s_values),
             "drives_per_s": executed / elapsed if elapsed > 0 else 0.0,
+            "timeouts_by_verdict": timeouts_by_verdict,
         },
         "outcomes": [o.to_dict() for o in folded] + [o.to_dict() for o in rejections],
     }
@@ -270,6 +281,12 @@ def render_rollup(rollup: Mapping) -> str:
         f"  wall: {wall['elapsed_s']:.2f}s elapsed, "
         f"{wall['drives_per_s']:.2f} drives/s"
     )
+    timeouts = wall.get("timeouts_by_verdict") or {}
+    if timeouts:
+        lines.append(
+            "  timeouts: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(timeouts.items()))
+        )
     if rollup["incidents"]:
         lines.append(f"  incident bundles: {len(rollup['incidents'])}")
     return "\n".join(lines)

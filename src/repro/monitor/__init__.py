@@ -21,6 +21,14 @@ from repro.monitor.bundle import (
     write_bundle,
 )
 from repro.monitor.events import MONITOR_EVENT_KINDS
+from repro.monitor.liveness import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_HUNG_AFTER_S,
+    DEFAULT_SUSPECT_AFTER_S,
+    LIVENESS_STATES,
+    LivenessConfig,
+    WorkerLiveness,
+)
 from repro.monitor.recorder import (
     FlightRecorder,
     FrameSnapshot,
@@ -49,7 +57,12 @@ from repro.monitor.slo import (
 
 __all__ = [
     "BUNDLE_SCHEMA_VERSION",
+    "DEFAULT_HEARTBEAT_INTERVAL_S",
+    "DEFAULT_HUNG_AFTER_S",
+    "DEFAULT_SUSPECT_AFTER_S",
     "DEFAULT_ZYNQ_EVENT_KINDS",
+    "LIVENESS_STATES",
+    "LivenessConfig",
     "MONITOR_EVENT_KINDS",
     "NULL_MONITOR",
     "PAPER_FRAME_BUDGET_MS",
@@ -68,6 +81,7 @@ __all__ = [
     "SloBudgets",
     "SloViolation",
     "TriggerEvent",
+    "WorkerLiveness",
     "canonical_frame_bytes",
     "frame_record_dict",
     "is_bundle",

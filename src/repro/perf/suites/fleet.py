@@ -61,3 +61,55 @@ def fleet_workers2(ctx: BenchContext):
 )
 def fleet_workers4(ctx: BenchContext):
     return _fleet_workload(ctx, workers=4)
+
+
+def _streaming_twin(ctx: BenchContext, streaming: bool):
+    """One of the live-plane overhead twins: identical but for the flag.
+
+    The pair pins the acceptance bound of the observability plane: the
+    ``on`` twin runs heartbeats, status folding, and snapshot publishing;
+    the ``off`` twin is the same sharded sweep with the plane disabled.
+    Their medians should agree within the MAD noise floor (FLEET.md).
+    """
+    count = 4 if ctx.smoke else 12
+    duration_s = 0.5 if ctx.smoke else 1.0
+    specs = sweep_specs(count, fleet_seed=13, duration_s=duration_s)
+    ctx.digest([spec.seed for spec in specs])
+    ctx.note("drives", count)
+    ctx.note("duration_s", duration_s)
+    ctx.note("streaming", streaming)
+    config = FleetConfig(
+        workers=2,
+        monitored=False,
+        record_latency=False,
+        streaming=streaming,
+        status_interval_s=0.25,
+    )
+
+    def run():
+        scheduler = FleetScheduler(config)
+        scheduler.submit_all(specs)
+        outcomes = scheduler.run()
+        return sum(1 for o in outcomes if o.ok)
+
+    return run
+
+
+@bench(
+    "fleet_streaming_on_ms",
+    group="fleet",
+    kind="macro",
+    summary="2-worker sweep with the live plane on (heartbeats + snapshots)",
+)
+def fleet_streaming_on(ctx: BenchContext):
+    return _streaming_twin(ctx, streaming=True)
+
+
+@bench(
+    "fleet_streaming_off_ms",
+    group="fleet",
+    kind="macro",
+    summary="identical 2-worker sweep with the live plane off (overhead twin)",
+)
+def fleet_streaming_off(ctx: BenchContext):
+    return _streaming_twin(ctx, streaming=False)

@@ -11,7 +11,10 @@ See TELEMETRY.md at the repository root.  The subsystem has three parts:
   :class:`Stopwatch`);
 * :mod:`repro.telemetry.exporters` — JSONL, Chrome ``trace_event``
   (Perfetto-loadable), and plain-text report exporters with a
-  format-sniffing loader for the ``python -m repro telemetry`` summary.
+  format-sniffing loader for the ``python -m repro telemetry`` summary;
+* :mod:`repro.telemetry.openmetrics` — OpenMetrics text exposition
+  (render/parse/export) for metrics snapshots, so a fleet run scrapes
+  like any production service.
 
 :class:`Telemetry` bundles one tracer and one registry into the session
 object that `ZynqSoC`, `AdaptiveDetectionSystem`, and the pipelines accept;
@@ -44,6 +47,12 @@ from repro.telemetry.metrics import (
     snapshot_values,
     throughput_mbs,
 )
+from repro.telemetry.openmetrics import (
+    export_openmetrics,
+    parse_openmetrics,
+    render_openmetrics,
+    write_exposition,
+)
 from repro.telemetry.session import NULL_TELEMETRY, NullMetrics, Telemetry
 from repro.telemetry.spans import NULL_SPAN, NullTracer, Span, SpanEvent, Tracer
 
@@ -69,12 +78,16 @@ __all__ = [
     "export",
     "export_chrome",
     "export_jsonl",
+    "export_openmetrics",
     "export_text",
     "filter_spans",
     "load_dump",
     "merge_snapshots",
+    "parse_openmetrics",
+    "render_openmetrics",
     "render_report",
     "snapshot_values",
     "summarize_file",
     "throughput_mbs",
+    "write_exposition",
 ]

@@ -32,7 +32,7 @@ from repro.errors import ConfigurationError
 from repro.telemetry.session import Telemetry
 from repro.telemetry.spans import Span
 
-TELEMETRY_FORMATS = ("jsonl", "chrome", "text")
+TELEMETRY_FORMATS = ("jsonl", "chrome", "text", "openmetrics")
 
 # Reserved argument keys carrying span structure through the Chrome format.
 _SPAN_ID_KEY = "__span_id__"
@@ -143,6 +143,10 @@ def export(telemetry: Telemetry, path: str, format: str) -> None:
         export_chrome(telemetry, path)
     elif format == "text":
         export_text(telemetry, path)
+    elif format == "openmetrics":
+        from repro.telemetry.openmetrics import export_openmetrics
+
+        export_openmetrics(telemetry, path)
     else:
         raise ConfigurationError(
             f"unknown telemetry format {format!r}; expected one of {TELEMETRY_FORMATS}"

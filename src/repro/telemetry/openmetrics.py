@@ -1,0 +1,274 @@
+"""OpenMetrics text exposition for ``MetricsRegistry`` snapshots.
+
+The fleet's live plane (and anything else holding a metrics snapshot)
+can expose itself the way production services do: one text document per
+scrape, one ``# TYPE`` family header per metric, counters suffixed
+``_total``, histograms as cumulative ``_bucket{le=...}`` series plus
+``_sum``/``_count``, terminated by ``# EOF``.  The input is the plain
+snapshot shape (:meth:`MetricsRegistry.snapshot` output or a reloaded
+dump's ``metrics`` list) — no live registry required, so a fleet
+scheduler can re-render the exposition on every status snapshot and a
+node-exporter-style textfile collector can scrape the result.
+
+:func:`parse_openmetrics` is the inverse for the subset this module
+emits; :func:`render_openmetrics` ∘ :func:`parse_openmetrics` is the
+identity on canonical expositions, which the round-trip tests pin
+against a hand-written fixture.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a series name into a legal OpenMetrics metric name."""
+    cleaned = _NAME_BAD_CHARS.sub("_", str(name))
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _label_text(labels: Mapping[str, Any], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(str(k), str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{metric_name(k)}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _number(value: Any) -> str:
+    """Canonical sample-value rendering (shortest float repr)."""
+    return repr(float(value))
+
+
+def _family(series: Mapping) -> tuple[str, str]:
+    """The (family, sample-name) pair for one snapshot series.
+
+    Counters expose ``<family>_total`` samples; a series already named
+    ``*_total`` keeps its name as the sample and drops the suffix from
+    the family, so ``faults_total`` stays ``faults_total`` rather than
+    growing into ``faults_total_total``.
+    """
+    name = metric_name(series["name"])
+    if series["kind"] == "counter":
+        family = name[: -len("_total")] if name.endswith("_total") else name
+        return family, family + "_total"
+    return name, name
+
+
+def render_openmetrics(snapshot: Iterable[Mapping]) -> str:
+    """Render a metrics snapshot as an OpenMetrics text exposition."""
+    lines: list[str] = []
+    seen_families: dict[str, str] = {}
+    order: list[tuple[str, str, list[Mapping]]] = []
+    grouped: dict[str, list[Mapping]] = {}
+    for series in snapshot:
+        kind = series["kind"]
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ConfigurationError(f"unknown metric kind {kind!r} in snapshot")
+        family, _ = _family(series)
+        previous = seen_families.get(family)
+        if previous is None:
+            seen_families[family] = kind
+            grouped[family] = [series]
+            order.append((family, kind, grouped[family]))
+        elif previous != kind:
+            raise ConfigurationError(
+                f"metric family {family!r} appears as both {previous} and {kind}"
+            )
+        else:
+            grouped[family].append(series)
+    for family, kind, group in order:
+        lines.append(f"# TYPE {family} {kind}")
+        for series in group:
+            labels = series.get("labels", {})
+            if kind == "counter":
+                _, sample = _family(series)
+                lines.append(
+                    f"{sample}{_label_text(labels)} {_number(series.get('value', 0.0))}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{family}{_label_text(labels)} {_number(series.get('value', 0.0))}"
+                )
+            else:
+                bounds = [float(b) for b in series.get("bounds", ())]
+                counts = [int(n) for n in series.get("bucket_counts", ())]
+                if len(counts) != len(bounds) + 1:
+                    raise ConfigurationError(
+                        f"histogram {series['name']}: {len(counts)} bucket counts "
+                        f"do not fit {len(bounds)} bounds"
+                    )
+                cumulative = 0
+                for bound, n in zip(bounds, counts[:-1]):
+                    cumulative += n
+                    le = _label_text(labels, extra=(("le", _number(bound)),))
+                    lines.append(f"{family}_bucket{le} {cumulative}")
+                total = int(series.get("count", cumulative + counts[-1]))
+                inf = _label_text(labels, extra=(("le", "+Inf"),))
+                lines.append(f"{family}_bucket{inf} {total}")
+                lines.append(
+                    f"{family}_sum{_label_text(labels)} {_number(series.get('sum', 0.0))}"
+                )
+                lines.append(f"{family}_count{_label_text(labels)} {total}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    return {key: _unescape_label(value) for key, value in _LABEL_PAIR.findall(text)}
+
+
+class _HistogramAccumulator:
+    """Rebuilds one histogram series from its exposition samples."""
+
+    def __init__(self, name: str, labels: dict[str, str]):
+        self.name = name
+        self.labels = labels
+        self.buckets: list[tuple[float, int]] = []
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def to_series(self) -> dict:
+        bounds = [b for b, _ in self.buckets]
+        cumulative = [n for _, n in self.buckets] + [self.inf_count]
+        counts: list[int] = []
+        previous = 0
+        for value in cumulative:
+            counts.append(value - previous)
+            previous = value
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "labels": self.labels,
+            "bounds": bounds,
+            "bucket_counts": counts,
+            "count": self.count,
+            "sum": self.sum,
+            "min": None,
+            "max": None,
+        }
+
+
+def parse_openmetrics(text: str) -> list[dict]:
+    """Parse an exposition produced by :func:`render_openmetrics`.
+
+    Returns snapshot-shaped series dicts (counter/gauge values, histogram
+    bounds and de-cumulated bucket counts).  Histogram ``min``/``max`` are
+    not part of the exposition format and come back as ``None``.
+    """
+    kinds: dict[str, str] = {}
+    series: list[dict] = []
+    histograms: dict[tuple, _HistogramAccumulator] = {}
+    saw_eof = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ConfigurationError(f"line {lineno}: malformed TYPE line {line!r}")
+            kinds[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ConfigurationError(f"line {lineno}: not a sample line: {line!r}")
+        sample = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = match.group("value")
+        family, suffix = _split_sample(sample, kinds)
+        if family is None:
+            raise ConfigurationError(
+                f"line {lineno}: sample {sample!r} has no preceding TYPE line"
+            )
+        kind = kinds[family]
+        if kind == "counter":
+            series.append(
+                {"kind": "counter", "name": sample, "labels": labels, "value": float(value)}
+            )
+        elif kind == "gauge":
+            series.append(
+                {"kind": "gauge", "name": family, "labels": labels, "value": float(value)}
+            )
+        else:
+            le = labels.pop("le", None)
+            key = (family, tuple(sorted(labels.items())))
+            accumulator = histograms.get(key)
+            if accumulator is None:
+                accumulator = _HistogramAccumulator(family, labels)
+                histograms[key] = accumulator
+                series.append(accumulator)  # type: ignore[arg-type] - resolved below
+            if suffix == "bucket":
+                if le is None:
+                    raise ConfigurationError(f"line {lineno}: bucket sample without le")
+                if le == "+Inf":
+                    accumulator.inf_count = int(float(value))
+                else:
+                    accumulator.buckets.append((float(le), int(float(value))))
+            elif suffix == "sum":
+                accumulator.sum = float(value)
+            elif suffix == "count":
+                accumulator.count = int(float(value))
+            else:
+                raise ConfigurationError(
+                    f"line {lineno}: unknown histogram sample {sample!r}"
+                )
+    if not saw_eof:
+        raise ConfigurationError("exposition is missing the # EOF terminator")
+    return [
+        s.to_series() if isinstance(s, _HistogramAccumulator) else s for s in series
+    ]
+
+
+def _split_sample(sample: str, kinds: Mapping[str, str]) -> tuple[str | None, str]:
+    """Resolve a sample name to its (family, suffix) under known TYPEs."""
+    if sample in kinds:
+        return sample, ""
+    for suffix in ("bucket", "sum", "count", "total"):
+        marker = "_" + suffix
+        if sample.endswith(marker) and sample[: -len(marker)] in kinds:
+            return sample[: -len(marker)], suffix
+    return None, ""
+
+
+def export_openmetrics(telemetry, path: str) -> None:
+    """Write one telemetry session's metrics snapshot as an exposition."""
+    write_exposition(telemetry.metrics.snapshot(), path)
+
+
+def write_exposition(snapshot: Iterable[Mapping], path: str) -> None:
+    """Render and write an exposition document (single atomic rewrite)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_openmetrics(snapshot))

@@ -125,6 +125,25 @@ class TestCliTelemetry:
         assert main(["telemetry", "--telemetry-in", path]) == 0
         assert "hot spans" not in capsys.readouterr().out
 
+    def test_telemetry_format_openmetrics_is_a_scrapable_exposition(
+        self, tmp_path, capsys
+    ):
+        path = str(tmp_path / "drive.jsonl")
+        assert main(["drive", "--duration", "5", "--telemetry-out", path]) == 0
+        capsys.readouterr()
+        assert main(
+            ["telemetry", "--telemetry-in", path, "--format", "openmetrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("# EOF")
+        assert "# TYPE drive_frames counter" in out
+        assert "drive_frames_total" in out
+        assert "frame_wall_ms_bucket" in out
+        # It parses back with the module's own inverse.
+        from repro.telemetry import parse_openmetrics
+
+        assert parse_openmetrics(out)
+
 
 class TestExtensibility:
     def test_animal_configuration_fits_paper_partition(self):
