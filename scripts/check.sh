@@ -68,6 +68,9 @@ if ! grep -q "^# EOF" "$fleet_tmp/fleet.om"; then
 fi
 rm -rf "$fleet_tmp"
 
+echo "== repro quality compare (detection-quality ratchet vs committed baseline)"
+PYTHONPATH=src python -m repro quality compare QUALITY_BASELINE.json >/dev/null || status=1
+
 if [[ $fast -eq 0 ]]; then
     echo "== pytest (tier 1)"
     PYTHONPATH=src python -m pytest -x -q || status=1

@@ -32,6 +32,13 @@ def _default_fleet_vocabulary() -> frozenset[str]:
     return FLEET_EVENT_KINDS
 
 
+def _default_quality_vocabulary() -> frozenset[str]:
+    # Single source of truth: the vocabulary next to quality_event.
+    from repro.quality.events import QUALITY_EVENT_KINDS
+
+    return QUALITY_EVENT_KINDS
+
+
 def _default_wall_strip_keys() -> frozenset[str]:
     # Single source of truth: the strip lists next to the deterministic
     # views themselves — a wall value stored under one of these keys is
@@ -39,12 +46,14 @@ def _default_wall_strip_keys() -> frozenset[str]:
     from repro.fleet.outcome import WALL_METRIC_NAMES, WALL_OUTCOME_FIELDS
     from repro.fleet.rollup import WALL_ROLLUP_KEYS
     from repro.fleet.status import WALL_STATUS_KEYS
+    from repro.quality.baseline import WALL_QUALITY_KEYS
 
     return (
         frozenset(WALL_METRIC_NAMES)
         | frozenset(WALL_OUTCOME_FIELDS)
         | frozenset(WALL_ROLLUP_KEYS)
         | frozenset(WALL_STATUS_KEYS)
+        | frozenset(WALL_QUALITY_KEYS)
     )
 
 
@@ -65,6 +74,7 @@ class LintConfig:
         event_vocabulary: Legal ``Trace.emit`` event kinds.
         monitor_vocabulary: Legal ``Monitor.emit_event`` event kinds.
         fleet_vocabulary: Legal ``FleetScheduler.fleet_event`` event kinds.
+        quality_vocabulary: Legal ``quality_event`` event kinds.
         api_packages: Packages whose public surface must carry docstrings
             and complete type annotations.
         span_exempt_modules: Modules implementing the span machinery
@@ -123,6 +133,9 @@ class LintConfig:
     event_vocabulary: frozenset[str] = field(default_factory=_default_event_vocabulary)
     monitor_vocabulary: frozenset[str] = field(default_factory=_default_monitor_vocabulary)
     fleet_vocabulary: frozenset[str] = field(default_factory=_default_fleet_vocabulary)
+    quality_vocabulary: frozenset[str] = field(
+        default_factory=_default_quality_vocabulary
+    )
     api_packages: tuple[str, ...] = ("repro.pipelines", "repro.zynq")
     span_exempt_modules: tuple[str, ...] = ("repro.telemetry",)
     bench_suite_packages: tuple[str, ...] = ("repro.perf.suites",)

@@ -10,6 +10,7 @@ from repro.analysis.rules import (  # noqa: F401
     monitor,
     perf,
     pragma,
+    quality,
     robustness,
     taint,
     telemetry,

@@ -1,0 +1,71 @@
+"""Quality-plane hygiene rules: the quality-event vocabulary.
+
+``quality_event`` kinds name rows in quality traces the baseline tooling
+and the observability docs enumerate.  A kind outside the declared
+vocabulary (:data:`repro.quality.events.QUALITY_EVENT_KINDS`) is an
+event no reader will ever look for — the runtime rejects it, but only
+when that code path actually fires; the lint catches it at review time.
+Unlike the monitor/fleet emitters, ``quality_event`` exists both as a
+method (``ModelQualityObserver.quality_event``) and as a module-level
+helper, so the rule matches both call shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleContext, Rule, Violation, register
+
+
+def _is_quality_event_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "quality_event"
+    if isinstance(func, ast.Name):
+        return func.id == "quality_event"
+    return False
+
+
+@register
+class QualityEventVocabularyRule(Rule):
+    """``quality_event`` kinds come from the declared vocabulary."""
+
+    id = "quality-event-vocabulary"
+    family = "telemetry"
+    summary = (
+        "quality_event kinds must be string literals from the declared "
+        "vocabulary (repro.quality.events.QUALITY_EVENT_KINDS)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Violation]:
+        vocabulary = module.config.quality_vocabulary
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_quality_event_call(node)):
+                continue
+            # quality_event(kind, **attrs) — free function or method.
+            kind_node: ast.expr | None = None
+            if node.args:
+                kind_node = node.args[0]
+            for keyword in node.keywords:
+                if keyword.arg == "kind":
+                    kind_node = keyword.value
+            if kind_node is None:
+                continue
+            if not (isinstance(kind_node, ast.Constant) and isinstance(kind_node.value, str)):
+                yield self.violation(
+                    module,
+                    kind_node,
+                    "quality_event kind must be a string literal so the "
+                    "vocabulary is statically checkable",
+                )
+                continue
+            if kind_node.value not in vocabulary:
+                known = ", ".join(sorted(vocabulary))
+                yield self.violation(
+                    module,
+                    kind_node,
+                    f"quality_event kind {kind_node.value!r} is not in the "
+                    f"declared quality vocabulary ({known}); add it to "
+                    "repro.quality.events.QUALITY_EVENT_KINDS first",
+                )

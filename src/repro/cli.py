@@ -16,6 +16,7 @@
                           [--format text|openmetrics]
     python -m repro incident list|show|report|replay|smoke ...   # see MONITOR.md
     python -m repro fleet run|top|report|smoke ...               # see FLEET.md
+    python -m repro quality report|compare ...                   # see QUALITY.md
     python -m repro lint [PATHS] [--format text|json] [--select R] [--ignore R]
     python -m repro bench [--smoke] [--compare BASELINE] [--filter S]
     python -m repro all [--scale S]      # everything, in paper order
@@ -284,6 +285,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.fleet.cli import main as fleet_main
 
         return fleet_main(argv[1:])
+    if argv[:1] == ["quality"]:
+        # And for the ground-truth quality plane (report/compare).
+        from repro.quality.cli import main as quality_main
+
+        return quality_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artefacts of the DATE'19 adaptive-detection paper.",
@@ -401,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {'bench':<{width}}  statistical benchmarks + regression gate (see PERF.md)")
         print(f"  {'incident':<{width}}  flight-recorder bundles: list/report/replay (see MONITOR.md)")
         print(f"  {'fleet':<{width}}  many-vehicle drive service: run/report/smoke (see FLEET.md)")
+        print(f"  {'quality':<{width}}  detection-quality baseline: report/compare (see QUALITY.md)")
         return 0
 
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

@@ -25,6 +25,7 @@ from repro.datasets.lighting import LightingCondition
 from repro.errors import ConfigurationError, ReconfigurationError
 from repro.faults.plan import DegradationEvent, FaultPlan, FaultSite
 from repro.monitor.session import NULL_MONITOR, Monitor
+from repro.quality.observer import DETECTION_IOU_BUCKETS, NULL_QUALITY
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 from repro.zynq.bitstream import BitstreamRepository, paper_bitstreams
 from repro.zynq.pr import BasePrController, PaperPrController, ReconfigReport
@@ -151,6 +152,9 @@ class DriveReport:
     #: The drive's monitor session (None when run unmonitored); excluded
     #: from :meth:`summary` for the same non-perturbation reason.
     monitor: Monitor | None = field(default=None, repr=False, compare=False)
+    #: The drive's quality observer (None when run unscored); excluded
+    #: from :meth:`summary` for the same non-perturbation reason.
+    quality: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_frames(self) -> int:
@@ -230,11 +234,13 @@ class AdaptiveDetectionSystem:
         fault_plan: FaultPlan | None = None,
         telemetry: Telemetry | None = None,
         monitor: Monitor | None = None,
+        quality=None,
     ):
         self.config = config or SystemConfig()
         self.fault_plan = fault_plan
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.monitor = monitor if monitor is not None else NULL_MONITOR
+        self.quality = quality if quality is not None else NULL_QUALITY
         policy = self.config.degradation
         self.soc = ZynqSoC(
             controller_cls=self.config.controller_cls,
@@ -253,6 +259,8 @@ class AdaptiveDetectionSystem:
                 fault_plan.bind_telemetry(self.telemetry)
         if self.monitor.enabled:
             self.report.monitor = self.monitor
+        if self.quality.enabled:
+            self.report.quality = self.quality
         self.soc.on_degradation = self._on_soc_degradation
         self._pending_reconfig = False
 
@@ -263,6 +271,7 @@ class AdaptiveDetectionSystem:
         telemetry: Telemetry | None = None,
         monitor: Monitor | None = None,
         repository: BitstreamRepository | None = None,
+        quality=None,
     ) -> "AdaptiveDetectionSystem":
         """Materialise a system from a plain-data :class:`DriveSpec`.
 
@@ -281,6 +290,7 @@ class AdaptiveDetectionSystem:
             fault_plan=spec.build_fault_plan(),
             telemetry=telemetry,
             monitor=monitor,
+            quality=quality,
         )
 
     def _on_soc_degradation(self, event: DegradationEvent) -> None:
@@ -412,6 +422,10 @@ class AdaptiveDetectionSystem:
         monitored = monitor.enabled
         if monitored:
             monitor.begin_drive(self, trace, sensor, duration_s, n_frames)
+        quality = self.quality
+        scored = quality.enabled
+        if scored:
+            quality.begin_drive(trace, duration_s, n_frames)
         fault_plan = self.fault_plan
         fault_cursor = len(fault_plan.events) if fault_plan is not None else 0
         degrade_cursor = len(self.report.degradations)
@@ -473,6 +487,10 @@ class AdaptiveDetectionSystem:
                     ),
                 )
                 self.report.frames.append(record)
+                # Ground-truth scoring is a pure read of the finished record
+                # (its own RNG streams, no simulation state touched), so the
+                # frame core is identical with or without the quality plane.
+                qrecord = quality.observe_frame(record, expected_config) if scored else None
                 if observed:
                     record.span_id = frame_span.span_id
                     frame_span.set_attr("condition", record.condition.value)
@@ -489,6 +507,18 @@ class AdaptiveDetectionSystem:
                         telemetry.counter("drive_vehicle_dropped").inc()
                     if not ped_ok:
                         telemetry.counter("drive_pedestrian_dropped").inc()
+                    if qrecord is not None:
+                        condition = qrecord.true_condition
+                        telemetry.counter("quality_frames_scored_total").inc()
+                        telemetry.counter("quality_tp_total", condition=condition).inc(qrecord.tp)
+                        telemetry.counter("quality_fp_total", condition=condition).inc(qrecord.fp)
+                        telemetry.counter("quality_fn_total", condition=condition).inc(qrecord.fn)
+                        if qrecord.matched_ious:
+                            iou_hist = telemetry.histogram(
+                                "detection_iou", bounds=DETECTION_IOU_BUCKETS
+                            )
+                            for iou in qrecord.matched_ious:
+                                iou_hist.observe(iou)
             wall_ms: float | None = None
             if observed:
                 wall_ms = frame_span.wall_duration_s * 1e3
@@ -496,7 +526,7 @@ class AdaptiveDetectionSystem:
                 if wall_ms > deadline_ms:
                     telemetry.counter("frame_deadline_misses_total").inc()
             if monitored:
-                monitor.observe_frame(record, expected_config, wall_ms=wall_ms)
+                monitor.observe_frame(record, expected_config, wall_ms=wall_ms, quality=qrecord)
         sim.run_until(duration_s + 0.1)
         telemetry.tracer.end(
             drive_span,
@@ -512,6 +542,8 @@ class AdaptiveDetectionSystem:
             self.soc.record_telemetry()
         if monitored:
             monitor.finish_drive()
+        if scored:
+            quality.finish_drive()
         return self.report
 
 
@@ -520,6 +552,7 @@ def run_drive_spec(
     telemetry: Telemetry | None = None,
     monitor: Monitor | None = None,
     repository: BitstreamRepository | None = None,
+    quality=None,
 ) -> DriveReport:
     """One drive from a plain-data spec: the cheap, reentrant fleet unit.
 
@@ -531,7 +564,7 @@ def run_drive_spec(
     the fleet determinism tests pin.
     """
     system = AdaptiveDetectionSystem.from_spec(
-        spec, telemetry=telemetry, monitor=monitor, repository=repository
+        spec, telemetry=telemetry, monitor=monitor, repository=repository, quality=quality
     )
     trace = spec.build_trace()
     sensor = spec.build_sensor(trace, system.fault_plan)

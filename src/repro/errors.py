@@ -83,3 +83,7 @@ class MonitoringError(ReproError):
 
 class FleetError(ReproError):
     """The fleet scheduler was configured or driven inconsistently."""
+
+
+class QualityError(ReproError):
+    """The detection-quality plane was configured or driven inconsistently."""

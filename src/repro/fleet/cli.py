@@ -4,7 +4,7 @@
                     [--out PATH] [--incidents-dir DIR] [--timeout S]
                     [--queue-capacity N] [--no-monitor] [--no-latency]
                     [--no-stream] [--status-out PATH] [--metrics-out PATH]
-                    [--trace-dir DIR] [--trace-out PATH]
+                    [--trace-dir DIR] [--trace-out PATH] [--quality]
     repro fleet top [--once] [--status-in PATH] [run options...]
     repro fleet report PATH
     repro fleet smoke
@@ -53,6 +53,7 @@ def _cmd_run(args) -> int:
         streaming=not args.no_stream,
         status_interval_s=args.status_interval,
         trace_dir=args.trace_dir,
+        quality=args.quality,
     )
     rollup = run_fleet(
         specs,
@@ -224,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--incidents-dir", default=None, help="incident-bundle directory")
     run.add_argument("--timeout", type=float, default=60.0, help="per-drive wall deadline (s)")
     run.add_argument("--queue-capacity", type=int, default=256, help="admission queue bound")
+    run.add_argument(
+        "--quality",
+        action="store_true",
+        help="score drives against modelled ground truth (see QUALITY.md)",
+    )
     run.add_argument("--no-monitor", action="store_true", help="run drives unmonitored")
     run.add_argument("--no-latency", action="store_true", help="skip latency histograms")
     run.add_argument("--no-stream", action="store_true", help="disable the live plane")

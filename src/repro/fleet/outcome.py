@@ -49,6 +49,25 @@ WALL_METRIC_NAMES = frozenset(
     {"frame_wall_ms", "stage_wall_ms", "frame_deadline_misses_total"}
 )
 
+#: Outcome dict keys that exist only when the quality plane is attached
+#: (stripped by :func:`deterministic_outcome_dict`): the deterministic
+#: view of a quality-scored drive must be byte-identical to the view of
+#: the same drive unscored — the quality plane's non-perturbation
+#: contract, the exact analogue of the wall-clock strip above.
+QUALITY_OUTCOME_FIELDS = ("quality",)
+
+#: Metric series emitted only by the quality plane (stripped alongside
+#: the wall series for the same on-vs-off byte-identity reason).
+QUALITY_METRIC_NAMES = frozenset(
+    {
+        "quality_frames_scored_total",
+        "quality_tp_total",
+        "quality_fp_total",
+        "quality_fn_total",
+        "detection_iou",
+    }
+)
+
 
 @dataclass
 class DriveOutcome:
@@ -65,6 +84,11 @@ class DriveOutcome:
             default); empty dict for unmonitored drives.
         metrics: Telemetry metric snapshot (plain dicts; empty when the
             drive ran unobserved).
+        quality: Per-drive detection-quality summary from the quality
+            plane (:func:`repro.quality.records.fold_records` output);
+            empty dict for unscored drives.  Sim-deterministic, but
+            stripped from the deterministic view so scored and unscored
+            fleets compare byte-identically.
         incidents: Incident-bundle paths harvested from the drive.
         error: Failure detail for non-``ok`` statuses.
         latency_ms: ``frame_wall_ms`` histogram dict (wall-clock).
@@ -84,6 +108,7 @@ class DriveOutcome:
     summary: dict = field(default_factory=dict)
     verdict: dict = field(default_factory=dict)
     metrics: list = field(default_factory=list)
+    quality: dict = field(default_factory=dict)
     incidents: list = field(default_factory=list)
     error: str = ""
     latency_ms: dict | None = None
@@ -118,6 +143,7 @@ class DriveOutcome:
             "summary": dict(self.summary),
             "verdict": dict(self.verdict),
             "metrics": list(self.metrics),
+            "quality": dict(self.quality),
             "incidents": list(self.incidents),
             "error": self.error,
             "latency_ms": self.latency_ms,
@@ -139,11 +165,12 @@ class DriveOutcome:
 
 
 def deterministic_metrics(series: Iterable[Mapping]) -> list[dict]:
-    """Drop wall-clock-derived series from a metric snapshot."""
+    """Drop wall-clock-derived and quality-plane series from a snapshot."""
     return [
         dict(s)
         for s in series
         if s.get("name") not in WALL_METRIC_NAMES
+        and s.get("name") not in QUALITY_METRIC_NAMES
     ]
 
 
@@ -156,7 +183,7 @@ def deterministic_outcome_dict(outcome: "DriveOutcome | Mapping[str, Any]") -> d
     compare exactly this.
     """
     data = outcome.to_dict() if isinstance(outcome, DriveOutcome) else dict(outcome)
-    for key in WALL_OUTCOME_FIELDS:
+    for key in WALL_OUTCOME_FIELDS + QUALITY_OUTCOME_FIELDS:
         data.pop(key, None)
     data["metrics"] = deterministic_metrics(data.get("metrics", []))
     return data

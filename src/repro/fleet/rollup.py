@@ -27,16 +27,25 @@ from repro.fleet.outcome import (
     deterministic_metrics,
     deterministic_outcome_dict,
 )
+from repro.quality.records import merge_summaries
 from repro.telemetry.metrics import merge_snapshots
 
 FLEET_SCHEMA = "repro.fleet/rollup"
-FLEET_SCHEMA_VERSION = 1
+# v2: the required "quality" section (merged per-condition detection
+# quality from scored drives; scored_drives == 0 for unscored fleets).
+FLEET_SCHEMA_VERSION = 2
 
 #: Top-level rollup keys whose values depend on wall clocks or scheduling
 #: (stripped by :func:`deterministic_view`, together with ``config`` and
 #: ``events_by_kind`` which encode *how* the fleet ran, not what it
 #: computed).
 WALL_ROLLUP_KEYS = ("latency_ms", "wall")
+
+#: Top-level rollup keys that exist only when the quality plane is on
+#: (stripped by :func:`deterministic_view` so a scored fleet's view
+#: byte-matches an unscored one's; sharded-vs-inline quality equality is
+#: asserted separately on the full rollup).
+QUALITY_ROLLUP_KEYS = ("quality",)
 
 #: Keys every rollup must carry (validation contract).
 REQUIRED_ROLLUP_KEYS = (
@@ -47,6 +56,7 @@ REQUIRED_ROLLUP_KEYS = (
     "frames",
     "health",
     "faults",
+    "quality",
     "latency_ms",
     "metrics",
     "incidents",
@@ -173,6 +183,10 @@ def build_rollup(
             "frames_degraded": frames["frames_degraded"],
             "failed_reconfigurations": frames["failed_reconfigurations"],
         },
+        # Merged detection quality over every scored drive.  The fold is
+        # shard-order-independent (ConfusionCounts.merge is associative
+        # and commutative), so sharded and inline runs agree exactly.
+        "quality": merge_summaries(o.quality for o in folded if o.quality),
         "latency_ms": latency[0] if latency else None,
         "metrics": metrics,
         "incidents": incident_paths,
@@ -197,7 +211,9 @@ def deterministic_view(rollup: Mapping) -> dict:
     view = {
         key: value
         for key, value in rollup.items()
-        if key not in WALL_ROLLUP_KEYS and key not in ("config", "events_by_kind")
+        if key not in WALL_ROLLUP_KEYS
+        and key not in QUALITY_ROLLUP_KEYS
+        and key not in ("config", "events_by_kind")
     }
     view["outcomes"] = [
         deterministic_outcome_dict(o) for o in rollup.get("outcomes", [])
@@ -281,6 +297,22 @@ def render_rollup(rollup: Mapping) -> str:
         f"  wall: {wall['elapsed_s']:.2f}s elapsed, "
         f"{wall['drives_per_s']:.2f} drives/s"
     )
+    quality = rollup.get("quality") or {}
+    if quality.get("scored_drives"):
+        overall = quality.get("overall") or {}
+        by_condition = quality.get("by_condition") or {}
+        parts = [
+            f"recall={overall.get('recall', 0.0):.3f}",
+            f"precision={overall.get('precision', 0.0):.3f}",
+        ]
+        parts.extend(
+            f"{condition}={row.get('recall', 0.0):.3f}"
+            for condition, row in sorted(by_condition.items())
+        )
+        lines.append(
+            f"  quality ({quality['scored_drives']} scored, "
+            f"{quality.get('sampled_frames', 0)} frames): " + " ".join(parts)
+        )
     timeouts = wall.get("timeouts_by_verdict") or {}
     if timeouts:
         lines.append(

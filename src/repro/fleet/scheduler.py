@@ -91,6 +91,13 @@ class FleetConfig:
         monitored: Attach a ``wall_clock_slos=False`` monitor to each
             drive (sim-deterministic verdicts).
         record_latency: Record per-frame wall-latency histograms.
+        quality: Attach the seeded ground-truth quality observer to each
+            drive and fold per-drive quality summaries into outcomes,
+            rollups, and live status.  Observation only: verdicts stay
+            quality-blind (workers run with ``quality_slos=False``) and
+            the rollup's ``deterministic_view`` strips every
+            quality-derived value, so a scored fleet byte-matches an
+            unscored one.
         poll_interval_s: Scheduler idle-poll period while waiting on
             workers.
         streaming: Run the live plane (worker heartbeats, status
@@ -113,6 +120,7 @@ class FleetConfig:
     incidents_dir: str | None = None
     monitored: bool = True
     record_latency: bool = True
+    quality: bool = False
     poll_interval_s: float = 0.02
     streaming: bool = True
     heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
@@ -164,6 +172,7 @@ class FleetConfig:
             "incidents_dir": self.incidents_dir,
             "monitored": self.monitored,
             "record_latency": self.record_latency,
+            "quality": self.quality,
             "poll_interval_s": self.poll_interval_s,
             "streaming": self.streaming,
             "heartbeat_interval_s": self.heartbeat_interval_s,
@@ -327,6 +336,7 @@ class FleetScheduler:
                 monitored=self.config.monitored,
                 record_latency=self.config.record_latency,
                 contained=True,
+                quality=self.config.quality,
             )
             outcomes.append(outcome)
             self.fleet_event(
@@ -385,6 +395,7 @@ class FleetScheduler:
                 self._status_queue,
                 self.config.heartbeat_interval_s,
                 self.config.trace_dir,
+                self.config.quality,
             ),
             daemon=True,
         )

@@ -28,6 +28,7 @@ from repro.errors import FleetError
 from repro.fleet.events import check_fleet_event_kind
 from repro.fleet.outcome import OUTCOME_STATUSES, DriveOutcome
 from repro.monitor.liveness import LivenessConfig, WorkerLiveness
+from repro.quality.records import merge_summaries
 from repro.telemetry.metrics import merge_snapshots
 
 STATUS_SCHEMA = "repro.fleet/status"
@@ -155,6 +156,7 @@ class StatusBoard:
         self.record_counts: dict[str, int] = {}
         self._completions: deque[float] = deque()
         self._latency_snapshot: list[dict] = []
+        self._quality_summaries: list[dict] = []
 
     # Worker lifecycle (driven by the scheduler, not the side channel) -------
 
@@ -236,6 +238,9 @@ class StatusBoard:
             self._latency_snapshot = merge_snapshots(
                 self._latency_snapshot, [dict(latency)]
             )
+        quality = data.get("quality")
+        if quality:
+            self._quality_summaries.append(dict(quality))
 
     def drives_per_s(self, now_s: float) -> float:
         """Completions over the trailing window (run-age-clamped)."""
@@ -288,6 +293,16 @@ class StatusBoard:
             "frames_total": self.frames_total,
             "drives_per_s": _round6(self.drives_per_s(now_s)),
             "latency_ms": latency,
+            # Merged detection quality over drives completed so far; None
+            # until the first scored drive lands (quality plane off, or
+            # nothing finished yet).  Sim-derived, not wall territory —
+            # but live snapshots as a whole never feed deterministic
+            # sinks, so no strip set grows here.
+            "quality": (
+                merge_summaries(self._quality_summaries)
+                if self._quality_summaries
+                else None
+            ),
             "records_by_kind": dict(sorted(self.record_counts.items())),
         }
 
@@ -343,6 +358,21 @@ def status_metrics_snapshot(snapshot: Mapping[str, Any]) -> list[dict]:
                 "sum": latency.get("sum", 0.0),
             }
         )
+    quality = snapshot.get("quality")
+    if quality:
+        overall = quality.get("overall") or {}
+        series.append(
+            _gauge("fleet_quality_scored_drives", quality.get("scored_drives", 0))
+        )
+        if overall.get("recall") is not None:
+            series.append(_gauge("fleet_quality_recall", overall["recall"]))
+        if overall.get("precision") is not None:
+            series.append(_gauge("fleet_quality_precision", overall["precision"]))
+        for condition, row in sorted((quality.get("by_condition") or {}).items()):
+            if row.get("recall") is not None:
+                series.append(
+                    _gauge("fleet_quality_recall", row["recall"], condition=condition)
+                )
     return series
 
 
@@ -413,6 +443,21 @@ def render_status(snapshot: Mapping[str, Any]) -> str:
                     f"{k}={v:.2f}ms" for k, v in sorted(percentiles.items())
                 )
             )
+    quality = snapshot.get("quality")
+    if quality and quality.get("scored_drives"):
+        overall = quality.get("overall") or {}
+        by_condition = quality.get("by_condition") or {}
+        parts = [
+            f"recall={overall.get('recall', 0.0):.3f}",
+            f"precision={overall.get('precision', 0.0):.3f}",
+        ]
+        parts.extend(
+            f"{condition}={row.get('recall', 0.0):.3f}"
+            for condition, row in sorted(by_condition.items())
+        )
+        lines.append(
+            f"  quality ({quality['scored_drives']} scored): " + " · ".join(parts)
+        )
     return "\n".join(lines)
 
 

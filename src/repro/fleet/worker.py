@@ -180,6 +180,7 @@ def execute_spec(
     emitter: HeartbeatEmitter | None = None,
     trace_path: "str | Path | None" = None,
     drive_index: int | None = None,
+    quality: bool = False,
 ) -> DriveOutcome:
     """Run one drive spec to completion and fold it into an outcome.
 
@@ -195,6 +196,14 @@ def execute_spec(
     PR-2/PR-5 non-perturbation contract (re-pinned by the fleet tests)
     guarantees the frame cores — and therefore ``frames_digest`` — are
     identical whether or not the drive is observed.
+
+    ``quality=True`` attaches the seeded ground-truth observer
+    (:class:`repro.quality.observer.ModelQualityObserver`) and folds its
+    per-drive summary onto the outcome.  The monitor still runs with
+    quality SLO evaluation *off* — fleet verdicts stay quality-blind, the
+    same way ``wall_clock_slos=False`` keeps them latency-blind — so a
+    scored fleet's deterministic view is byte-identical to an unscored
+    one's.
     """
     spec = _spec_of(spec)
     if spec.chaos == "crash":
@@ -231,14 +240,23 @@ def execute_spec(
                 out_dir=out_dir,
                 budgets=SloBudgets.for_fps(spec.fps),
                 wall_clock_slos=False,
+                quality_slos=False,
+                trigger_on_quality=False,
             ),
             telemetry=telemetry,
         )
+    observer = None
+    if quality:
+        from repro.quality.observer import ModelQualityObserver
+
+        observer = ModelQualityObserver.for_spec(spec)
     try:
         from repro.core.system import run_drive_spec
 
         with Stopwatch() as stopwatch:
-            report = run_drive_spec(spec, telemetry=telemetry, monitor=monitor)
+            report = run_drive_spec(
+                spec, telemetry=telemetry, monitor=monitor, quality=observer
+            )
     except Exception as exc:  # noqa: BLE001 - containment is the contract
         return DriveOutcome(
             spec=spec.to_dict(),
@@ -270,6 +288,7 @@ def execute_spec(
         summary=report.summary(),
         verdict=verdict,
         metrics=metrics,
+        quality=observer.summary() if observer is not None else {},
         incidents=incidents,
         latency_ms=latency,
         wall_s=stopwatch.elapsed_s,
@@ -292,6 +311,7 @@ def worker_main(
     status_queue: Any = None,
     heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
     trace_dir: str | None = None,
+    quality: bool = False,
 ) -> None:
     """Process entry point: drain tasks until the ``None`` sentinel.
 
@@ -332,6 +352,7 @@ def worker_main(
                 emitter=emitter,
                 trace_path=trace_path,
                 drive_index=index,
+                quality=quality,
             )
             if emitter is not None:
                 emitter.end_drive(index, name, outcome.status)

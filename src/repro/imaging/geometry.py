@@ -217,6 +217,12 @@ def match_detections(
     Returns:
         (matches, unmatched_truths, unmatched_detections) where ``matches``
         is a list of (truth_index, detection_index) pairs.
+
+    The greedy order is pinned: candidate pairs are taken by descending
+    IoU, ties broken by ascending truth index then ascending detection
+    index.  Equal-overlap ties are common with grid-aligned boxes, and an
+    unpinned order would make TP/FP splits (and therefore the quality
+    plane's byte-compared records) platform- and insertion-order-dependent.
     """
     pairs: list[tuple[float, int, int]] = []
     for ti, t in enumerate(truths):
@@ -224,7 +230,7 @@ def match_detections(
             overlap = t.iou(d)
             if overlap >= iou_threshold:
                 pairs.append((overlap, ti, di))
-    pairs.sort(reverse=True)
+    pairs.sort(key=lambda pair: (-pair[0], pair[1], pair[2]))
     used_t: set[int] = set()
     used_d: set[int] = set()
     matches: list[tuple[int, int]] = []

@@ -89,7 +89,9 @@ def _monitor_from_manifest(manifest: dict) -> Monitor:
         trigger_on_reconfig_failure=policy.get("on_reconfig_failure", True),
         trigger_on_critical=policy.get("on_critical", True),
         trigger_on_deadline=policy.get("on_deadline", False),
+        trigger_on_quality=policy.get("on_quality", True),
         wall_clock_slos=manifest.get("wall_clock_slos", True),
+        quality_slos=manifest.get("quality_slos", True),
     )
     return Monitor(config)
 
@@ -130,7 +132,18 @@ def rebuild_drive(
         degradation=DegradationPolicy(**system_cfg["degradation"]),
     )
     monitor = _monitor_from_manifest(manifest)
-    system = AdaptiveDetectionSystem(config, fault_plan=plan, monitor=monitor)
+    # A drive recorded with the quality plane attached must replay with an
+    # identical observer: its records feed the quality SLOs, so the health
+    # walk (and therefore the trigger window) depends on them.
+    quality = None
+    quality_prov = manifest.get("quality")
+    if quality_prov is not None:
+        from repro.quality.observer import observer_from_provenance
+
+        quality = observer_from_provenance(quality_prov)
+    system = AdaptiveDetectionSystem(
+        config, fault_plan=plan, monitor=monitor, quality=quality
+    )
     return system, trace, sensor, float(drive["duration_s"]), monitor
 
 

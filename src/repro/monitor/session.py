@@ -116,12 +116,23 @@ class MonitorConfig:
         trigger_on_deadline: Freeze on a frame-deadline overrun.  Off by
             default: wall-clock triggers are host-dependent, and windows
             they open would not reproduce under ``incident replay``.
+        trigger_on_quality: Freeze when a quality SLO fires
+            (``quality-degraded`` windows).  Quality records come from the
+            seeded ground-truth model — sim-deterministic — so these
+            windows replay byte-identically: a quality collapse is as
+            recordable as a fault firing.
         wall_clock_slos: Feed measured frame wall times into the SLO
             evaluators.  On by default (the PR-5 behaviour).  The fleet
             turns it off so per-drive health verdicts depend only on the
             simulation — frame wall times are still recorded in snapshots
             and latency histograms, they just cannot flip the health
             state, which keeps fleet rollups run-to-run deterministic.
+        quality_slos: Feed scored quality records into the SLO
+            evaluators.  On by default for single-drive monitoring.  The
+            fleet turns it off for the symmetric reason it disables
+            ``wall_clock_slos``: fleet verdicts stay quality-blind, so a
+            quality-scored fleet folds the same OK/DEGRADED/CRITICAL
+            verdicts as an unscored one (the non-perturbation contract).
         zynq_event_kinds: Typed trace events copied into frame snapshots.
         include_spans: Copy overlapping telemetry spans into bundles.
     """
@@ -137,7 +148,9 @@ class MonitorConfig:
     trigger_on_reconfig_failure: bool = True
     trigger_on_critical: bool = True
     trigger_on_deadline: bool = False
+    trigger_on_quality: bool = True
     wall_clock_slos: bool = True
+    quality_slos: bool = True
     zynq_event_kinds: frozenset[str] = DEFAULT_ZYNQ_EVENT_KINDS
     include_spans: bool = True
 
@@ -156,6 +169,7 @@ class MonitorConfig:
             "on_reconfig_failure": self.trigger_on_reconfig_failure,
             "on_critical": self.trigger_on_critical,
             "on_deadline": self.trigger_on_deadline,
+            "on_quality": self.trigger_on_quality,
         }
 
 
@@ -172,7 +186,7 @@ class NullMonitor:
     def begin_drive(self, system, trace, sensor, duration_s, n_frames) -> None:
         pass
 
-    def observe_frame(self, record, expected_configuration, wall_ms=None) -> None:
+    def observe_frame(self, record, expected_configuration, wall_ms=None, quality=None) -> None:
         pass
 
     def on_reconfig(self, report) -> None:
@@ -316,6 +330,12 @@ class Monitor:
             "recorder": self.config.recorder_dict(),
             "triggers_policy": self.config.triggers_dict(),
             "wall_clock_slos": self.config.wall_clock_slos,
+            "quality_slos": self.config.quality_slos,
+            # Everything needed to reattach an identical quality observer
+            # on replay (None when the drive ran unscored).
+            "quality": (
+                system.quality.provenance() if system.quality.enabled else None
+            ),
             "telemetry_enabled": self.telemetry.enabled,
             "drive": {
                 "duration_s": duration_s,
@@ -382,8 +402,14 @@ class Monitor:
         expected_configuration: str,
         wall_ms: float | None = None,
         detections: float | None = None,
+        quality=None,
     ) -> None:
-        """Fold one finished frame into health + recorder state."""
+        """Fold one finished frame into health + recorder state.
+
+        ``quality`` is the frame's scored quality record (``None`` on
+        unscored frames or with the quality plane off); it only reaches
+        the SLO evaluators when :attr:`MonitorConfig.quality_slos` is on.
+        """
         if self._system is None:
             raise MonitoringError("observe_frame() before begin_drive()")
         index, time_s = record.index, record.time_s
@@ -393,6 +419,7 @@ class Monitor:
             wall_ms=wall_ms if self.config.wall_clock_slos else None,
             degraded=record.degraded,
             detections=detections,
+            quality=quality if self.config.quality_slos else None,
         )
         for violation in violations:
             self.emit_event(
@@ -427,6 +454,15 @@ class Monitor:
             for violation in violations:
                 if violation.slo == "frame-deadline":
                     self._trigger("frame-deadline", time_s, violation.detail)
+                    break
+        if self.config.trigger_on_quality:
+            for violation in violations:
+                if violation.slo.startswith("quality-"):
+                    self._trigger(
+                        "quality-degraded",
+                        time_s,
+                        f"{violation.slo}: {violation.detail}",
+                    )
                     break
         snapshot = FrameSnapshot(
             record=frame_record_dict(record, expected_configuration, self._system.soc),

@@ -76,6 +76,23 @@ class SloBudgets:
             detections count is anomalous.
         recovery_frames: Consecutive clean frames before the health state
             steps down one severity level.
+        quality_window: Trailing scored-frame count for the windowed
+            detection-quality evaluators (recall/FP-rate/drift).
+        quality_min_samples: Scored frames required before the quality
+            evaluators engage (cold-start guard).
+        quality_recall_floor: Windowed recall below this marks the frame
+            DEGRADED (``quality-recall``).
+        quality_collapse_recall: Windowed recall below this marks the
+            frame CRITICAL (``quality-collapse``) — the detector is no
+            longer usably seeing vehicles.
+        quality_fp_per_frame_max: Windowed false positives per scored
+            frame above this marks the frame DEGRADED (``quality-fp-rate``).
+        quality_drift_mad_k: Modified-z threshold (in MAD units) for the
+            recall drift detector.
+        quality_drift_floor: MAD floor for the drift detector; recall
+            lives in [0, 1], so the flat-window fallback must be much
+            finer than the detections-count one (a 0.05 floor with k=4
+            flags a 0.2+ absolute recall drop, ignores ±0.03 noise).
     """
 
     frame_budget_ms: float = PAPER_FRAME_BUDGET_MS
@@ -88,6 +105,13 @@ class SloBudgets:
     anomaly_min_samples: int = 16
     anomaly_mad_k: float = 5.0
     recovery_frames: int = 100
+    quality_window: int = 64
+    quality_min_samples: int = 16
+    quality_recall_floor: float = 0.60
+    quality_collapse_recall: float = 0.30
+    quality_fp_per_frame_max: float = 1.0
+    quality_drift_mad_k: float = 4.0
+    quality_drift_floor: float = 0.05
 
     def __post_init__(self) -> None:
         if self.frame_budget_ms <= 0 or self.reconfig_budget_ms <= 0:
@@ -104,6 +128,17 @@ class SloBudgets:
             raise ConfigurationError("anomaly_mad_k must be positive")
         if self.recovery_frames < 1:
             raise ConfigurationError("recovery_frames must be >= 1")
+        if self.quality_window < 2 or self.quality_min_samples < 2:
+            raise ConfigurationError("quality windows must hold at least 2 samples")
+        if not 0.0 <= self.quality_collapse_recall <= self.quality_recall_floor <= 1.0:
+            raise ConfigurationError(
+                "quality recall thresholds must satisfy "
+                "0 <= collapse <= floor <= 1"
+            )
+        if self.quality_fp_per_frame_max <= 0:
+            raise ConfigurationError("quality_fp_per_frame_max must be positive")
+        if self.quality_drift_mad_k <= 0 or self.quality_drift_floor <= 0:
+            raise ConfigurationError("quality drift parameters must be positive")
 
     @property
     def reconfig_limit_ms(self) -> float:
@@ -130,6 +165,13 @@ class SloBudgets:
             "anomaly_min_samples": self.anomaly_min_samples,
             "anomaly_mad_k": self.anomaly_mad_k,
             "recovery_frames": self.recovery_frames,
+            "quality_window": self.quality_window,
+            "quality_min_samples": self.quality_min_samples,
+            "quality_recall_floor": self.quality_recall_floor,
+            "quality_collapse_recall": self.quality_collapse_recall,
+            "quality_fp_per_frame_max": self.quality_fp_per_frame_max,
+            "quality_drift_mad_k": self.quality_drift_mad_k,
+            "quality_drift_floor": self.quality_drift_floor,
         }
 
 
@@ -204,6 +246,10 @@ class HealthMonitor:
         self._clean_streak = 0
         self._change_times: list[float] = []
         self._detections: list[float] = []
+        # Windowed detection-quality counts (scored frames only) and the
+        # history of windowed recalls the drift detector compares against.
+        self._quality_counts: list[tuple[int, int, int]] = []  # (tp, fp, fn)
+        self._recall_history: list[float] = []
         # Violations observed between frames (reconfig reports, degradation
         # events) are folded into the *next* frame observation.
         self._pending: list[SloViolation] = []
@@ -340,6 +386,99 @@ class HealthMonitor:
                 del self._detections[: len(self._detections) - b.anomaly_window]
         return found
 
+    def _quality_violations(self, index: int, time_s: float, quality) -> list[SloViolation]:
+        """Windowed quality SLOs over one scored frame's TP/FP/FN counts.
+
+        ``quality`` is any object with integer ``tp``/``fp``/``fn``
+        attributes (a :class:`repro.quality.records.QualityRecord`); the
+        evaluator is duck-typed so this module never imports the quality
+        plane.  Three detectors, mirroring the latency ones:
+
+        * ``quality-recall`` / ``quality-collapse`` — windowed recall
+          against absolute floors (DEGRADED / CRITICAL);
+        * ``quality-fp-rate`` — windowed false positives per scored frame;
+        * ``quality-drift`` — the current windowed recall against the MAD
+          of its own history (catches a sustained slide long before the
+          absolute floor is crossed).
+        """
+        b = self.budgets
+        found: list[SloViolation] = []
+        self._quality_counts.append((int(quality.tp), int(quality.fp), int(quality.fn)))
+        if len(self._quality_counts) > b.quality_window:
+            del self._quality_counts[: len(self._quality_counts) - b.quality_window]
+        if len(self._quality_counts) < b.quality_min_samples:
+            return found
+        tp = sum(c[0] for c in self._quality_counts)
+        fp = sum(c[1] for c in self._quality_counts)
+        fn = sum(c[2] for c in self._quality_counts)
+        fp_per_frame = fp / len(self._quality_counts)
+        if fp_per_frame > b.quality_fp_per_frame_max:
+            found.append(
+                SloViolation(
+                    time_s=time_s,
+                    slo="quality-fp-rate",
+                    severity=HealthState.DEGRADED,
+                    detail=(
+                        f"{fp_per_frame:.2f} FP/frame > "
+                        f"{b.quality_fp_per_frame_max:.2f} ceiling"
+                    ),
+                    frame_index=index,
+                )
+            )
+        if tp + fn == 0:
+            return found  # no ground-truth vehicles in the window: recall undefined
+        recall = tp / (tp + fn)
+        if recall < b.quality_collapse_recall:
+            found.append(
+                SloViolation(
+                    time_s=time_s,
+                    slo="quality-collapse",
+                    severity=HealthState.CRITICAL,
+                    detail=(
+                        f"windowed recall {recall:.2f} < "
+                        f"{b.quality_collapse_recall:.2f} collapse line"
+                    ),
+                    frame_index=index,
+                )
+            )
+        elif recall < b.quality_recall_floor:
+            found.append(
+                SloViolation(
+                    time_s=time_s,
+                    slo="quality-recall",
+                    severity=HealthState.DEGRADED,
+                    detail=(
+                        f"windowed recall {recall:.2f} < "
+                        f"{b.quality_recall_floor:.2f} floor"
+                    ),
+                    frame_index=index,
+                )
+            )
+        elif len(self._recall_history) >= b.quality_min_samples:
+            median = _median(self._recall_history)
+            mad = _median([abs(v - median) for v in self._recall_history])
+            # Recall lives in [0, 1]; a flat window's MAD is 0, so fall
+            # back to a fine absolute floor (not the one-count floor the
+            # detections estimator uses).  Only *downward* drift flags.
+            spread = max(mad, b.quality_drift_floor)
+            if (median - recall) / spread > b.quality_drift_mad_k:
+                found.append(
+                    SloViolation(
+                        time_s=time_s,
+                        slo="quality-drift",
+                        severity=HealthState.DEGRADED,
+                        detail=(
+                            f"windowed recall {recall:.2f} drifted below "
+                            f"median {median:.2f} (MAD {mad:.3f})"
+                        ),
+                        frame_index=index,
+                    )
+                )
+        self._recall_history.append(recall)
+        if len(self._recall_history) > b.quality_window:
+            del self._recall_history[: len(self._recall_history) - b.quality_window]
+        return found
+
     # Folding -----------------------------------------------------------------
 
     def observe_frame(
@@ -349,9 +488,12 @@ class HealthMonitor:
         wall_ms: float | None = None,
         degraded: bool = False,
         detections: float | None = None,
+        quality=None,
     ) -> tuple[list[SloViolation], HealthTransition | None]:
         """Fold one frame (plus anything pending) into the health state.
 
+        ``quality`` is an optional scored-frame record (``tp``/``fp``/``fn``
+        attributes) from the quality plane; ``None`` on unscored frames.
         Returns the violations attributed to this frame and the state
         transition it caused, if any.
         """
@@ -361,6 +503,8 @@ class HealthMonitor:
         found.extend(
             self._frame_violations(index, time_s, wall_ms, degraded, detections)
         )
+        if quality is not None:
+            found.extend(self._quality_violations(index, time_s, quality))
         found = [
             v if v.frame_index is not None else dataclasses.replace(v, frame_index=index)
             for v in found

@@ -67,6 +67,35 @@ class ConfusionCounts:
             fn=self.fn + other.fn,
         )
 
+    @classmethod
+    def merge(cls, counts: "Iterable[ConfusionCounts]") -> "ConfusionCounts":
+        """Fold many count rows into one.
+
+        ``+`` is associative and commutative with ``ConfusionCounts()`` as
+        identity (pinned by property-based tests), so merging is
+        order-independent: the fleet quality rollup folds per-drive,
+        per-condition rows in whatever order outcomes arrive and always
+        lands on the same totals.
+        """
+        total = cls()
+        for item in counts:
+            total = total + item
+        return total
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON artefacts (rollups, baselines)."""
+        return {"tp": self.tp, "tn": self.tn, "fp": self.fp, "fn": self.fn}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConfusionCounts":
+        """Rehydrate a row written by :meth:`to_dict` (extra keys ignored)."""
+        return cls(
+            tp=int(data.get("tp", 0)),
+            tn=int(data.get("tn", 0)),
+            fp=int(data.get("fp", 0)),
+            fn=int(data.get("fn", 0)),
+        )
+
     def as_row(self) -> dict:
         """Table-I-style row."""
         return {

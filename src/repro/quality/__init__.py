@@ -1,0 +1,55 @@
+"""repro.quality: the ground-truth detection-quality observation plane.
+
+Everything here is *observation*: a seeded ground-truth model scores each
+drive frame the way the paper's Table I was measured, per-frame records
+fold into per-drive summaries and fleet-level rollups, and a committed
+``QUALITY_BASELINE.json`` ratchets regressions — all without perturbing a
+single frame core (the default observer is the no-op :data:`NULL_QUALITY`,
+and deterministic artefacts strip every quality-derived value).
+
+Layout:
+
+* :mod:`repro.quality.records` — :class:`QualityRecord` + fold/merge algebra.
+* :mod:`repro.quality.observer` — :data:`NULL_QUALITY`,
+  :class:`ModelQualityObserver`, and the seeded scene/detector model.
+* :mod:`repro.quality.events` — the declared quality-event vocabulary.
+* :mod:`repro.quality.baseline` — suite, snapshots, and the compare gate
+  (imported lazily where needed; it pulls in the drive loop).
+* :mod:`repro.quality.cli` — ``python -m repro quality report|compare``.
+"""
+
+from repro.quality.events import (
+    QUALITY_EVENT_KINDS,
+    check_quality_event_kind,
+    quality_event,
+)
+from repro.quality.observer import (
+    MATCH_IOU_THRESHOLD,
+    NULL_QUALITY,
+    ModelQualityObserver,
+    NullQualityObserver,
+    QualityModelConfig,
+    observer_from_provenance,
+)
+from repro.quality.records import (
+    QUALITY_SUMMARY_SCHEMA,
+    QualityRecord,
+    fold_records,
+    merge_summaries,
+)
+
+__all__ = [
+    "QUALITY_EVENT_KINDS",
+    "QUALITY_SUMMARY_SCHEMA",
+    "MATCH_IOU_THRESHOLD",
+    "NULL_QUALITY",
+    "ModelQualityObserver",
+    "NullQualityObserver",
+    "QualityModelConfig",
+    "QualityRecord",
+    "check_quality_event_kind",
+    "fold_records",
+    "merge_summaries",
+    "observer_from_provenance",
+    "quality_event",
+]

@@ -1,0 +1,3 @@
+# module: repro.quality.fixture
+observer.quality_event('quality.drive.start', trace='sunset')
+quality_event('quality.compare', regressed=0)

@@ -1,0 +1,2 @@
+# module: repro.quality.fixture
+quality_event('quality.confetti', path='x')

@@ -1,0 +1,2 @@
+# module: repro.quality.fixture
+observer.quality_event('quality.party')

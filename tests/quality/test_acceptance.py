@@ -1,0 +1,106 @@
+"""End-to-end acceptance: a stuck sensor walks health down on *quality*.
+
+The drive: a sunset trace whose sensor freezes mid-drive (a dropout
+fault pinned open), so the controller keeps believing daylight while the
+scene goes dark.  Latency is untouched — wall-clock SLOs are off — so
+every health movement must come from the ground-truth quality plane:
+OK -> DEGRADED on recall drift, DEGRADED -> CRITICAL on recall collapse,
+an incident bundle triggered by ``quality-degraded``, and a replay of
+that bundle that byte-verifies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adaptive.sensor import LightSensor, sunset_trace
+from repro.core.system import AdaptiveDetectionSystem
+from repro.faults.plan import FaultPlan, FaultSite, FaultSpec
+from repro.monitor.replay import replay_bundle
+from repro.monitor.session import Monitor, MonitorConfig
+from repro.monitor.slo import HealthState
+from repro.quality.observer import ModelQualityObserver
+
+pytestmark = [pytest.mark.quality, pytest.mark.monitor]
+
+DURATION_S = 20.0
+
+
+@pytest.fixture(scope="module")
+def stuck_sensor_drive(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("quality-incidents")
+    trace = sunset_trace(duration_s=DURATION_S)
+    # The sensor wedges at mid-drive and never recovers: the controller
+    # keeps the day/dusk image loaded while the trace crosses into dark.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                site=FaultSite.SENSOR_DROPOUT,
+                target="sensor",
+                start_s=0.5 * DURATION_S,
+                end_s=math.inf,
+                magnitude=0.0,
+            )
+        ],
+        name="stuck-sensor",
+    )
+    monitor = Monitor(
+        MonitorConfig(
+            out_dir=str(out_dir),
+            wall_clock_slos=False,
+            trigger_on_fault=False,
+        )
+    )
+    observer = ModelQualityObserver(seed=123)
+    system = AdaptiveDetectionSystem(
+        fault_plan=plan, monitor=monitor, quality=observer
+    )
+    sensor = LightSensor(trace, noise_rel=0.03, seed=42, faults=plan)
+    report = system.run_drive(trace, duration_s=DURATION_S, sensor=sensor)
+    return monitor, observer, report
+
+
+def test_health_walks_down_on_quality_not_latency(stuck_sensor_drive):
+    monitor, _, _ = stuck_sensor_drive
+    transitions = monitor.health.transitions
+    assert [t.new for t in transitions[:2]] == [
+        HealthState.DEGRADED,
+        HealthState.CRITICAL,
+    ]
+    # Every transition is quality-driven; with wall-clock SLOs off there
+    # is no latency path into DEGRADED at all.
+    assert all("quality-" in t.reason for t in transitions)
+    assert monitor.health.state is HealthState.CRITICAL
+
+
+def test_all_violations_are_quality_slos(stuck_sensor_drive):
+    monitor, _, _ = stuck_sensor_drive
+    slos = {v.slo for v in monitor.health.violations}
+    assert slos
+    assert all(slo.startswith("quality-") for slo in slos)
+    assert "quality-collapse" in slos
+
+
+def test_recall_really_collapsed(stuck_sensor_drive):
+    _, observer, _ = stuck_sensor_drive
+    # Frames after the sensor wedged and the scene went dark score at
+    # the paper's mismatched-configuration recall; the drive's tail is
+    # dominated by them.
+    late = [r for r in observer.records if r.time_s > 0.95 * DURATION_S]
+    assert late
+    assert not any(r.matched for r in late)
+
+
+def test_incident_bundle_written_with_quality_trigger(stuck_sensor_drive):
+    monitor, _, _ = stuck_sensor_drive
+    assert monitor.bundles, "quality collapse must trigger the flight recorder"
+    assert any("quality-degraded" in str(path) for path in monitor.bundles)
+
+
+def test_bundle_replay_byte_verifies(stuck_sensor_drive):
+    monitor, _, _ = stuck_sensor_drive
+    result = replay_bundle(monitor.bundles[0])
+    assert result.ok, result.detail
+    assert result.frames_compared > 0

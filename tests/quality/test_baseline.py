@@ -1,0 +1,163 @@
+"""Baseline snapshots, the compare gate, and the quality CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.baseline import (
+    DEFAULT_NOISE_FLOOR,
+    QUALITY_SCHEMA,
+    QUALITY_SCHEMA_VERSION,
+    build_snapshot,
+    compare,
+    load_snapshot,
+    quality_suite_specs,
+    run_suite,
+    write_snapshot,
+)
+from repro.quality.cli import main as quality_main
+
+pytestmark = pytest.mark.quality
+
+#: Short sim-duration for every suite run in this module (speed).
+DURATION_S = 1.0
+
+
+@pytest.fixture(scope="module")
+def suite_drives():
+    return run_suite(quality_suite_specs(DURATION_S, seed=0))
+
+
+class TestSuite:
+    def test_suite_names_are_unique_and_stable(self):
+        specs = quality_suite_specs(DURATION_S, seed=0)
+        names = [spec.name for spec in specs]
+        assert len(names) == len(set(names))
+        assert names == [spec.name for spec in quality_suite_specs(DURATION_S, seed=0)]
+
+    def test_suite_is_deterministic(self, suite_drives):
+        again = run_suite(quality_suite_specs(DURATION_S, seed=0))
+        assert json.dumps(suite_drives, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+    def test_different_seed_changes_results(self, suite_drives):
+        other = run_suite(quality_suite_specs(DURATION_S, seed=1))
+        assert json.dumps(suite_drives, sort_keys=True) != json.dumps(
+            other, sort_keys=True
+        )
+
+
+class TestSnapshotArtefact:
+    def test_round_trip(self, suite_drives, tmp_path):
+        doc = build_snapshot(suite_drives, label="test", suite_wall_s=1.5)
+        assert doc["schema"] == QUALITY_SCHEMA
+        assert doc["schema_version"] == QUALITY_SCHEMA_VERSION
+        path = write_snapshot(tmp_path / "QUALITY_test.json", doc)
+        assert load_snapshot(path) == doc
+
+    def test_wall_section_is_optional(self, suite_drives, tmp_path):
+        doc = build_snapshot(suite_drives, label="test")
+        assert "wall" not in doc
+        write_snapshot(tmp_path / "QUALITY_nowall.json", doc)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(QualityError, match="not valid JSON"):
+            load_snapshot(path)
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(QualityError):
+            load_snapshot(path)
+        with pytest.raises(QualityError):
+            load_snapshot(tmp_path / "missing.json")
+
+
+def snapshot_copy(suite_drives, label="base"):
+    # A deep copy: build_snapshot's drive table shares the nested metric
+    # dicts with its input, and these tests tamper with them.
+    return json.loads(json.dumps(build_snapshot(suite_drives, label=label)))
+
+
+class TestCompare:
+    def test_identical_suite_is_unchanged(self, suite_drives):
+        report = compare(snapshot_copy(suite_drives), suite_drives)
+        assert not report.has_regressions
+        assert report.counts()["unchanged"] == len(suite_drives)
+
+    def test_recall_regression_beyond_floor_fails(self, suite_drives):
+        doc = snapshot_copy(suite_drives)
+        name = sorted(suite_drives)[0]
+        doc["drives"][name]["overall"]["recall"] += 2 * DEFAULT_NOISE_FLOOR
+        report = compare(doc, suite_drives)
+        assert report.has_regressions
+        assert [e.name for e in report.regressions] == [name]
+
+    def test_regression_within_noise_floor_passes(self, suite_drives):
+        doc = snapshot_copy(suite_drives)
+        name = sorted(suite_drives)[0]
+        doc["drives"][name]["overall"]["recall"] += DEFAULT_NOISE_FLOOR / 2
+        assert not compare(doc, suite_drives).has_regressions
+
+    def test_improvement_is_reported_not_failed(self, suite_drives):
+        doc = snapshot_copy(suite_drives)
+        name = sorted(suite_drives)[0]
+        doc["drives"][name]["overall"]["recall"] -= 2 * DEFAULT_NOISE_FLOOR
+        report = compare(doc, suite_drives)
+        assert not report.has_regressions
+        assert [e.name for e in report.improvements] == [name]
+        assert "ratchet" in report.render_text()
+
+    def test_missing_and_new_drives(self, suite_drives):
+        doc = snapshot_copy(suite_drives)
+        doc["drives"]["quality-retired-drive"] = doc["drives"][
+            sorted(suite_drives)[0]
+        ]
+        current = dict(suite_drives)
+        current["quality-brand-new"] = current[sorted(suite_drives)[0]]
+        report = compare(doc, current)
+        counts = report.counts()
+        assert counts["missing"] == 1
+        assert counts["new"] == 1
+
+
+class TestCli:
+    def run(self, *argv):
+        return quality_main([*argv, "--duration", str(DURATION_S)])
+
+    def test_report_then_clean_compare(self, tmp_path, capsys):
+        baseline = tmp_path / "QUALITY_BASELINE.json"
+        assert self.run("report", "--out", str(baseline)) == 0
+        assert baseline.exists()
+        assert self.run("compare", str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "0 regressed" in out
+
+    def test_compare_fails_on_tampered_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "QUALITY_BASELINE.json"
+        assert self.run("report", "--out", str(baseline)) == 0
+        doc = json.loads(baseline.read_text())
+        name = sorted(doc["drives"])[0]
+        doc["drives"][name]["overall"]["recall"] += 0.10
+        baseline.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        assert self.run("compare", str(baseline)) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_compare_json_format(self, tmp_path, capsys):
+        baseline = tmp_path / "QUALITY_BASELINE.json"
+        assert self.run("report", "--out", str(baseline)) == 0
+        capsys.readouterr()  # drain the report output
+        assert self.run("compare", str(baseline), "--format", "json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["baseline"]
+        assert not doc["has_regressions"]
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        assert self.run("compare", str(tmp_path / "nope.json")) == 2
+
+    def test_report_without_out_prints_only(self, capsys):
+        assert self.run("report") == 0
+        assert "quality suite" in capsys.readouterr().out
